@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation section: it prints the same rows/series the paper reports
+(so the output can be diffed against EXPERIMENTS.md) and asserts the
+*shape* of the result — who wins, by roughly what factor, where the
+crossovers fall.  Wall-clock timings of the real NumPy kernels run
+under pytest-benchmark; simulated edge-GPU latencies come from
+``repro.runtime``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EdgePCConfig
+from repro.runtime import PipelineProfiler
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def profiler():
+    return PipelineProfiler()
+
+
+@pytest.fixture(scope="session")
+def baseline_config():
+    return EdgePCConfig.baseline()
+
+
+@pytest.fixture(scope="session")
+def edgepc_config():
+    return EdgePCConfig.paper_default()
+
+
+@pytest.fixture(scope="session")
+def tensorcore_config():
+    return EdgePCConfig.paper_with_tensor_cores()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2023)

@@ -1,0 +1,100 @@
+"""Benchmarks for the extension features beyond the paper's figures.
+
+1. Radix sort kernel vs NumPy's comparison sort on Morton codes;
+2. streaming order maintenance vs from-scratch re-sorts over a frame
+   sequence;
+3. the cost of the (1+eps) guarantee: ranks scanned by the guaranteed
+   Z-order search vs EdgePC's fixed window.
+"""
+
+import numpy as np
+from conftest import print_header
+
+from repro.core import MortonNeighborSearch, radix_argsort, structurize
+from repro.core.streaming import StreamingMortonOrder
+from repro.datasets import ScanNetLike
+from repro.geometry import BoundingBox
+from repro.neighbors import ZOrderApproxNN, false_neighbor_ratio, knn
+
+
+def test_radix_sort_on_codes(benchmark, rng):
+    cloud = ScanNetLike(num_clouds=1, points_per_cloud=8192, seed=0)[
+        0
+    ].xyz
+    codes = structurize(cloud).codes
+
+    order = benchmark(lambda: radix_argsort(codes))
+
+    print_header("Extension: radix argsort on 8192 Morton codes")
+    reference = np.argsort(codes, kind="stable")
+    match = np.array_equal(order, reference)
+    print(f"matches numpy stable argsort: {match}")
+    assert match
+
+
+def test_streaming_maintenance(benchmark):
+    box = BoundingBox(np.full(3, -1.5), np.full(3, 1.5))
+    frames = ScanNetLike(num_clouds=6, points_per_cloud=1024, seed=4)
+
+    def run_stream():
+        stream = StreamingMortonOrder(box)
+        resort_total = 0
+        for frame in frames:
+            stream.insert(frame.xyz)
+            resort_total += stream.scratch_resort_ops()
+        return stream, resort_total
+
+    stream, resort_total = benchmark.pedantic(
+        run_stream, rounds=1, iterations=1
+    )
+
+    print_header(
+        "Extension: streaming order maintenance over 6 frames"
+    )
+    print(
+        f"maintenance ops {stream.maintenance_ops:,} vs "
+        f"from-scratch re-sorts {resort_total:,} "
+        f"({resort_total / stream.maintenance_ops:.1f}x more)"
+    )
+    assert (np.diff(stream.codes) >= 0).all()
+    assert stream.maintenance_ops < resort_total
+
+
+def test_guarantee_cost(benchmark, rng):
+    """What EdgePC saves by dropping the (1+eps) guarantee."""
+    cloud = ScanNetLike(num_clouds=1, points_per_cloud=2048, seed=0)[
+        0
+    ].xyz
+    order = structurize(cloud)
+    queries_idx = rng.choice(2048, 32, replace=False)
+    k = 16
+
+    window = MortonNeighborSearch(k, 2 * k)
+    approx = benchmark(
+        lambda: window.search(cloud, queries_idx, order)
+    )
+
+    guaranteed = ZOrderApproxNN(cloud, eps=0.5, order=order)
+    scanned = []
+    exact = knn(cloud[queries_idx], cloud, k)
+    hits = 0
+    for qi in queries_idx:
+        result = guaranteed.query(cloud[qi], k)
+        scanned.append(guaranteed.last_scanned)
+        hits += 1  # counted via FNR below instead
+
+    fnr_window = false_neighbor_ratio(approx, exact)
+    mean_scanned = float(np.mean(scanned))
+
+    print_header(
+        "Extension: cost of the (1+eps) guarantee (k=16, N=2048)"
+    )
+    print(
+        f"EdgePC window: {window.window} candidates/query, "
+        f"FNR {fnr_window * 100:.1f}% (no guarantee)\n"
+        f"(1+0.5)-guaranteed Z-order search: "
+        f"{mean_scanned:.0f} ranks scanned/query on average"
+    )
+    # The guarantee costs an order of magnitude more scanning than the
+    # fixed window — the trade-off Sec. 3.2 argues motivates EdgePC.
+    assert mean_scanned > 5 * window.window

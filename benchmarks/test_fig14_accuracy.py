@@ -1,0 +1,129 @@
+"""Fig. 14a: inference accuracy of the retrained EdgePC models.
+
+Paper result: retraining the CNNs with the Morton approximations in
+the loop keeps the accuracy drop within 2% of the baseline; using the
+pretrained weights *without* retraining loses much more.
+
+The models/datasets are scaled down (NumPy training), but the three-way
+comparison is exactly the paper's: baseline -> weight-swap ->
+retrained.  Two tasks run: shape classification (DGCNN(c) on the
+ModelNet-like set, W3's task) and semantic segmentation (PointNet++(s)
+on the S3DIS-like rooms, W1's task).
+"""
+
+import numpy as np
+from conftest import print_header
+
+from repro.core import EdgePCConfig
+from repro.datasets import (
+    ModelNetLike,
+    S3DISLike,
+    make_batches,
+    train_test_split,
+)
+from repro.nn import DGCNNClassifier, PointNet2Segmentation, SAConfig
+from repro.train import retrain_comparison
+
+
+def _classification_experiment():
+    ds = ModelNetLike(
+        num_clouds=48, points_per_cloud=128, num_classes=4, seed=0
+    )
+    train_idx, test_idx = train_test_split(ds, 0.25)
+    train_b = make_batches(ds, 8, indices=train_idx)
+    test_b = make_batches(ds, 4, indices=test_idx, drop_last=False)
+
+    def build(config):
+        return DGCNNClassifier(
+            num_classes=4, k=8, ec_channels=((16,), (16,), (32,)),
+            emb_channels=32, head_hidden=32, dropout=0.2,
+            edgepc=config, rng=np.random.default_rng(0),
+        )
+
+    return retrain_comparison(
+        build,
+        EdgePCConfig.baseline(),
+        EdgePCConfig.paper_default(),
+        train_b, test_b, epochs=10, lr=5e-3,
+    )
+
+
+def _segmentation_experiment():
+    ds = S3DISLike(num_clouds=12, points_per_cloud=256, seed=1)
+    train_idx, test_idx = train_test_split(ds, 0.25)
+    train_b = make_batches(
+        ds, 3, indices=train_idx, per_point_labels=True
+    )
+    test_b = make_batches(
+        ds, 3, indices=test_idx, per_point_labels=True, drop_last=False
+    )
+    sa = (
+        SAConfig(0.5, 8, 0.4, (16, 16, 32)),
+        SAConfig(0.5, 8, 0.8, (32, 32, 64)),
+    )
+
+    def build(config):
+        return PointNet2Segmentation(
+            num_classes=6, sa_configs=sa, edgepc=config,
+            head_hidden=32, dropout=0.0,
+            rng=np.random.default_rng(0),
+        )
+
+    # Segmentation is the accuracy-sensitive task, so the EdgePC
+    # config uses the larger search window the paper recommends for
+    # that regime (Sec. 6.2's "flexibility" paragraph).
+    return retrain_comparison(
+        build,
+        EdgePCConfig.baseline(),
+        EdgePCConfig(
+            sample_layers={0}, upsample_layers={1},
+            neighbor_layers={0}, window_multiplier=4,
+        ),
+        train_b, test_b, epochs=30, lr=8e-3,
+    )
+
+
+def test_fig14_accuracy(benchmark):
+    classification = benchmark.pedantic(
+        _classification_experiment, rounds=1, iterations=1
+    )
+    segmentation = _segmentation_experiment()
+
+    print_header(
+        "Fig. 14a: accuracy — baseline vs weight-swap vs retrained "
+        "(paper: retrained drop <= 2%)"
+    )
+    print(
+        f"{'Task':<22}{'baseline':>10}{'swap':>8}{'retrained':>11}"
+        f"{'drop':>8}"
+    )
+    for name, result in (
+        ("classification (W3)", classification),
+        ("segmentation (W1)", segmentation),
+    ):
+        print(
+            f"{name:<22}{result.baseline_accuracy:>10.3f}"
+            f"{result.approx_pretrained_accuracy:>8.3f}"
+            f"{result.approx_retrained_accuracy:>11.3f}"
+            f"{result.drop_after_retraining * 100:>7.1f}%"
+        )
+
+    # Classification: the full paper story at small scale.
+    assert classification.baseline_accuracy > 0.85
+    assert classification.drop_without_retraining > 0.15
+    assert classification.drop_after_retraining <= 0.10
+    # Segmentation: retrained approximate model stays close to the
+    # baseline.  The paper's full-scale drop is <= 2%; at this tiny
+    # scale (12 rooms x 256 points) the gap is noisier, so we allow a
+    # wider band while still requiring recovery over the weight swap.
+    assert segmentation.baseline_accuracy > 0.45
+    assert segmentation.drop_after_retraining <= 0.12
+    assert (
+        segmentation.approx_retrained_accuracy
+        > segmentation.approx_pretrained_accuracy
+    )
+    # Retraining must recover accuracy relative to the naive swap.
+    assert (
+        classification.approx_retrained_accuracy
+        > classification.approx_pretrained_accuracy
+    )

@@ -1,0 +1,145 @@
+"""Fig. 15 + Sec. 5.1.3/6.1.3 sensitivity studies.
+
+(a) Search window size: enlarging W from k toward 16k drives the false
+    neighbor ratio down (paper: toward ~5%) while the NS-stage speedup
+    falls from N/k toward N/W.
+(b) Number of optimized layers: gains saturate quickly and eventually
+    *reverse* — structurizing the small deeper levels pays a sort
+    launch each time while removing ever-cheaper exact kernels (the
+    paper's Sec. 5.2.3 overhead argument; its Fig. 15b reports only a
+    slight improvement past the first module, at significant accuracy
+    cost).
+(c) Morton code width: FNR falls as the code widens and saturates by
+    32 bits, while memory grows linearly (N*a/8 bytes).
+"""
+
+import numpy as np
+from conftest import print_header
+
+from repro.core import EdgePCConfig
+from repro.core.dse import explore_code_bits, explore_window_sizes
+from repro.datasets import ScanNetLike
+from repro.runtime import compare
+from repro.workloads import standard_workloads, trace
+
+
+def test_fig15a_window_sensitivity(benchmark, rng):
+    cloud = ScanNetLike(num_clouds=1, points_per_cloud=4096, seed=0)[
+        0
+    ].xyz
+    queries = rng.choice(4096, 512, replace=False)
+
+    points = benchmark.pedantic(
+        lambda: explore_window_sizes(
+            cloud, k=16,
+            multipliers=(1, 2, 4, 8, 16, 32),
+            query_indices=queries,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    print_header(
+        "Fig. 15a: false neighbor ratio vs search window "
+        "(ScanNet-like, k=16)"
+    )
+    print(f"{'W':>6}{'W/k':>6}{'FNR':>9}{'NS speedup':>12}")
+    for p in points:
+        print(
+            f"{p.window:>6}{p.window_multiplier:>6.0f}"
+            f"{p.false_neighbor_ratio * 100:>8.1f}%"
+            f"{p.search_speedup:>11.1f}x"
+        )
+
+    fnrs = [p.false_neighbor_ratio for p in points]
+    speedups = [p.search_speedup for p in points]
+    # Monotone trade-off, with the wide end approaching the paper's
+    # few-percent regime.
+    assert fnrs == sorted(fnrs, reverse=True)
+    assert speedups == sorted(speedups, reverse=True)
+    assert fnrs[-1] < 0.15
+    assert speedups[0] == 4096 / 16
+
+
+def test_fig15b_layer_count_sensitivity(
+    benchmark, profiler, baseline_config
+):
+    spec = standard_workloads()["W2"]
+    base = benchmark(lambda: trace(spec, baseline_config))
+
+    print_header(
+        "Fig. 15b: S+N speedup vs number of optimized SA/FP modules"
+    )
+    speedups = []
+    for num_layers in (1, 2, 3, 4):
+        layers = frozenset(range(num_layers))
+        up_layers = frozenset(
+             4 - 1 - layer for layer in range(num_layers)
+        )
+        config = EdgePCConfig(
+            sample_layers=layers,
+            upsample_layers=up_layers,
+            neighbor_layers=layers,
+        )
+        report = compare(
+            profiler, base, baseline_config,
+            trace(spec, config), config,
+        )
+        speedups.append(report.sample_neighbor_speedup)
+        print(
+            f"{num_layers} layer(s): "
+            f"S+N {report.sample_neighbor_speedup:5.2f}x"
+        )
+
+    # Shape: gains saturate after two modules and reverse at four —
+    # per-layer structurization overhead eats the shrinking returns
+    # (the accuracy cost of deeper approximation is measured
+    # separately in the Fig. 14 benchmark).
+    assert speedups[1] > speedups[0]
+    saturation_gain = (speedups[2] - speedups[1]) / speedups[1]
+    print(
+        f"\nlayer 3 adds only {saturation_gain * 100:.0f}% over "
+        f"layer 2; layer 4 reverses to {speedups[3]:.2f}x"
+    )
+    assert saturation_gain < 0.15
+    assert speedups[3] < speedups[2]
+
+
+def test_fig15c_code_bits_sensitivity(benchmark, rng):
+    cloud = ScanNetLike(num_clouds=1, points_per_cloud=2048, seed=0)[
+        0
+    ].xyz
+    queries = rng.choice(2048, 256, replace=False)
+    points = benchmark.pedantic(
+        lambda: explore_code_bits(
+            cloud, k=16,
+            code_bits_options=(12, 18, 24, 32, 48, 63),
+            query_indices=queries,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    print_header(
+        "Sec. 6.1.3: Morton code width vs FNR vs memory "
+        "(paper default: 32 bits)"
+    )
+    print(f"{'bits':>6}{'bits/axis':>11}{'memory':>10}{'FNR':>9}")
+    for p in points:
+        print(
+            f"{p.code_bits:>6}{p.bits_per_axis:>11}"
+            f"{p.memory_bytes / 1024:>9.1f}K"
+            f"{p.false_neighbor_ratio * 100:>8.1f}%"
+        )
+
+    by_bits = {p.code_bits: p for p in points}
+    # Memory is exactly linear in the width.
+    assert by_bits[32].memory_bytes == 2048 * 4
+    assert by_bits[63].memory_bytes > by_bits[12].memory_bytes * 5
+    # FNR saturates by 32 bits: widening to 63 barely moves it.
+    assert (
+        by_bits[32].false_neighbor_ratio
+        <= by_bits[12].false_neighbor_ratio + 0.02
+    )
+    assert abs(
+        by_bits[63].false_neighbor_ratio
+        - by_bits[32].false_neighbor_ratio
+    ) < 0.05

@@ -1,0 +1,56 @@
+"""Fig. 3: latency breakdown of the baseline PC CNN pipelines.
+
+Paper result: the sample + neighbor search stages take 38%-80% of the
+end-to-end inference latency across PointNet++(s)/DGCNN on the four
+datasets, growing with the point count (ModelNet's 1024-point clouds
+sit at the low end, ScanNet's 8192-point clouds at the high end).
+"""
+
+from conftest import print_header
+
+from repro.analysis import format_breakdown_row
+from repro.workloads import standard_workloads, trace
+
+
+def test_fig3_latency_breakdown(
+    benchmark, profiler, baseline_config
+):
+    specs = standard_workloads()
+    traces = {
+        name: trace(spec, baseline_config)
+        for name, spec in specs.items()
+    }
+
+    def price_all():
+        return {
+            name: profiler.breakdown(t, baseline_config)
+            for name, t in traces.items()
+        }
+
+    breakdowns = benchmark(price_all)
+
+    print_header(
+        "Fig. 3: baseline latency breakdown "
+        "(paper: sample+NS = 38%-80% of E2E)"
+    )
+    for name, breakdown in breakdowns.items():
+        label = f"{name} {specs[name].model}/{specs[name].dataset}"
+        print(format_breakdown_row(label, breakdown))
+
+    fractions = {
+        name: b.sample_and_neighbor_fraction
+        for name, b in breakdowns.items()
+    }
+    # Shape 1: every workload spends a large share in sample+NS.
+    assert all(0.25 <= f <= 0.85 for f in fractions.values()), fractions
+    # Shape 2: the share grows with the point count (ModelNet lowest,
+    # the 8192-point ScanNet workloads highest).
+    assert fractions["W3"] == min(fractions.values())
+    assert fractions["W6"] > 0.65
+    assert fractions["W1"] > 0.65
+    # Shape 3: at least one workload reaches the paper's ~80% regime.
+    assert max(fractions.values()) > 0.70
+    # Shape 4: within DGCNN, share increases with points/batch.
+    assert fractions["W3"] < fractions["W4"] < fractions["W5"] < (
+        fractions["W6"]
+    )

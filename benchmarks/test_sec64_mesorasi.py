@@ -1,0 +1,55 @@
+"""Sec. 6.4: the Mesorasi delayed-aggregation comparison.
+
+Paper measurement (PointNet++ / S3DIS): delayed aggregation speeds the
+feature-compute stage 2.1x (88.2 -> 42.2 ms per batch) but inflates
+the feature-grouping stage 2.73x, and — leaving sampling untouched —
+achieves only 1.12x end-to-end, far below EdgePC's gain on the same
+workload.
+"""
+
+from conftest import print_header
+
+from repro.baselines import apply_delayed_aggregation, summarize
+from repro.runtime import compare
+from repro.workloads import standard_workloads, trace
+
+
+def test_sec64_mesorasi_comparison(
+    benchmark, profiler, baseline_config, edgepc_config
+):
+    spec = standard_workloads()["W1"]  # PointNet++ / S3DIS
+    baseline = trace(spec, baseline_config)
+
+    mesorasi = benchmark(lambda: apply_delayed_aggregation(baseline))
+
+    result = summarize(
+        profiler.breakdown(baseline, baseline_config),
+        profiler.breakdown(mesorasi, baseline_config),
+    )
+    edgepc = compare(
+        profiler,
+        baseline, baseline_config,
+        trace(spec, edgepc_config), edgepc_config,
+    )
+
+    print_header(
+        "Sec. 6.4: Mesorasi delayed aggregation vs EdgePC "
+        "(PointNet++/S3DIS)"
+    )
+    print(
+        f"Mesorasi: FC speedup {result.feature_speedup:.2f}x "
+        f"(paper 2.1x) | grouping slowdown "
+        f"{result.grouping_slowdown:.2f}x (paper 2.73x) | "
+        f"E2E {result.end_to_end_speedup:.2f}x (paper 1.12x)"
+    )
+    print(
+        f"EdgePC:   E2E {edgepc.end_to_end_speedup:.2f}x on the same "
+        "workload"
+    )
+
+    # Shapes: big FC win, real grouping penalty, small net E2E gain.
+    assert 1.4 < result.feature_speedup < 4.0
+    assert 1.5 < result.grouping_slowdown < 6.0
+    assert 1.0 <= result.end_to_end_speedup < 1.5
+    # EdgePC beats delayed aggregation end-to-end on this workload.
+    assert edgepc.end_to_end_speedup > result.end_to_end_speedup

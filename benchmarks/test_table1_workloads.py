@@ -1,0 +1,47 @@
+"""Table 1: the six evaluated workloads.
+
+Prints the workload table and benchmarks the trace synthesizer (the
+front-end every latency experiment runs through).
+"""
+
+from conftest import print_header
+
+from repro.core import EdgePCConfig
+from repro.workloads import standard_workloads, trace
+
+
+def test_table1_workloads(benchmark):
+    specs = standard_workloads()
+
+    def synthesize_all():
+        return [
+            trace(spec, EdgePCConfig.paper_default())
+            for spec in specs.values()
+        ]
+
+    traces = benchmark(synthesize_all)
+
+    print_header("Table 1: Workloads used in this work")
+    print(
+        f"{'Workload':<10}{'Model':<16}{'Dataset':<13}"
+        f"{'#Points/Batch':>14}{'Batch':>7}  Task"
+    )
+    for name, spec in specs.items():
+        model = {
+            "pointnet2": "PointNet++(s)",
+            "dgcnn": f"DGCNN({spec.task[0]})",
+        }[spec.model]
+        print(
+            f"{name:<10}{model:<16}{spec.dataset:<13}"
+            f"{spec.points_per_batch:>14}{spec.batch_size:>7}  "
+            f"{spec.task.replace('_', ' ')}"
+        )
+
+    # Table 1's fixed properties.
+    assert specs["W1"].points_per_batch == 8192
+    assert specs["W2"].points_per_batch == 8192
+    assert specs["W3"].points_per_batch == 1024
+    assert specs["W4"].points_per_batch == 2048
+    assert specs["W5"].points_per_batch == 4096
+    assert specs["W6"].points_per_batch == 8192
+    assert all(len(t) > 0 for t in traces)

@@ -1,0 +1,64 @@
+"""Profile the six Table-1 workloads on the simulated edge device.
+
+Regenerates the Fig. 3 / Fig. 13 views interactively: per-stage
+latency breakdown of the baseline pipeline, then the speedup and
+energy saving of the EdgePC configurations (S+N and S+N+F).
+
+Runs in about a second — the traces are synthesized from the
+architecture specs, not executed.
+"""
+
+from repro import EdgePCConfig, PipelineProfiler
+from repro.analysis import format_breakdown_row, format_comparison_row
+from repro.runtime import compare
+from repro.workloads import standard_workloads, trace
+
+
+def main() -> None:
+    profiler = PipelineProfiler()
+    baseline = EdgePCConfig.baseline()
+    edgepc = EdgePCConfig.paper_default()
+    with_tc = EdgePCConfig.paper_with_tensor_cores()
+
+    print("Baseline latency breakdown (Fig. 3):")
+    specs = standard_workloads()
+    for name, spec in specs.items():
+        breakdown = profiler.breakdown(
+            trace(spec, baseline), baseline
+        )
+        label = f"{name} {spec.model}/{spec.dataset}"
+        print("  " + format_breakdown_row(label, breakdown))
+
+    print("\nEdgePC S+N configuration vs baseline (Fig. 13a/b/c):")
+    sn, e2e, energy = [], [], []
+    for name, spec in specs.items():
+        report = compare(
+            profiler,
+            trace(spec, baseline), baseline,
+            trace(spec, edgepc), edgepc,
+        )
+        sn.append(report.sample_neighbor_speedup)
+        e2e.append(report.end_to_end_speedup)
+        energy.append(report.energy_saving_fraction)
+        print("  " + format_comparison_row(name, report))
+    print(
+        f"  averages: S+N {sum(sn) / 6:.2f}x | E2E {sum(e2e) / 6:.2f}x"
+        f" | energy saved {sum(energy) / 6 * 100:.0f}%"
+    )
+
+    print("\nS+N+F configuration (feature compute on tensor cores):")
+    for name, spec in specs.items():
+        report = compare(
+            profiler,
+            trace(spec, baseline), baseline,
+            trace(spec, with_tc), with_tc,
+        )
+        print(
+            f"  {name}: E2E {report.end_to_end_speedup:5.2f}x | "
+            f"energy saved "
+            f"{report.energy_saving_fraction * 100:5.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Part segmentation with DGCNN on the ShapeNet-like dataset (W4).
+
+Trains two DGCNN(p) models — the exact baseline and the retrained
+EdgePC configuration — on synthetic part-labelled objects (lamps,
+tables, rockets, mugs) and reports per-part IoU for both, mirroring
+the paper's Fig. 14b qualitative comparison.  Runs in ~2 minutes.
+"""
+
+import numpy as np
+
+from repro import EdgePCConfig
+from repro.datasets import (
+    ShapeNetPartLike,
+    make_batches,
+    train_test_split,
+)
+from repro.datasets.shapenet import NUM_PARTS
+from repro.nn import Adam, DGCNNSegmentation
+from repro.nn.autograd import no_grad
+from repro.train import Trainer, confusion_matrix
+
+PART_NAMES = ("base", "body", "top", "appendage")
+
+
+def build_model(config: EdgePCConfig) -> DGCNNSegmentation:
+    return DGCNNSegmentation(
+        num_classes=NUM_PARTS,
+        k=8,
+        ec_channels=((16,), (16,), (32,)),
+        emb_channels=32,
+        head_hidden=32,
+        dropout=0.0,
+        edgepc=config,
+        rng=np.random.default_rng(0),
+    )
+
+
+def per_part_iou(model, batches) -> np.ndarray:
+    model.eval()
+    predictions, targets = [], []
+    with no_grad():
+        for batch in batches:
+            logits = model(batch.xyz)
+            predictions.append(logits.data.argmax(axis=-1).reshape(-1))
+            targets.append(batch.labels.reshape(-1))
+    model.train()
+    matrix = confusion_matrix(
+        np.concatenate(predictions),
+        np.concatenate(targets),
+        NUM_PARTS,
+    )
+    intersection = np.diag(matrix).astype(float)
+    union = (
+        matrix.sum(axis=0) + matrix.sum(axis=1) - np.diag(matrix)
+    ).astype(float)
+    return np.where(union > 0, intersection / np.maximum(union, 1), np.nan)
+
+
+def main() -> None:
+    dataset = ShapeNetPartLike(
+        num_clouds=16, points_per_cloud=256, seed=2
+    )
+    train_idx, test_idx = train_test_split(dataset, 0.25)
+    train_b = make_batches(
+        dataset, 4, indices=train_idx, per_point_labels=True
+    )
+    test_b = make_batches(
+        dataset, 4, indices=test_idx, per_point_labels=True,
+        drop_last=False,
+    )
+
+    results = {}
+    for name, config in (
+        ("baseline", EdgePCConfig.baseline()),
+        ("EdgePC", EdgePCConfig(window_multiplier=4)),
+    ):
+        model = build_model(config)
+        trainer = Trainer(model, Adam(model.parameters(), lr=8e-3))
+        print(f"training {name} ...")
+        trainer.fit(train_b, epochs=20)
+        accuracy = trainer.evaluate(test_b).accuracy
+        results[name] = (accuracy, per_part_iou(model, test_b))
+        print(f"  {name}: test accuracy {accuracy:.3f}")
+
+    print(f"\n{'part':<12}{'baseline IoU':>14}{'EdgePC IoU':>13}")
+    for part, name in enumerate(PART_NAMES):
+        base_iou = results["baseline"][1][part]
+        edge_iou = results["EdgePC"][1][part]
+        def fmt(v):
+            return "  n/a" if np.isnan(v) else f"{v:5.3f}"
+        print(f"{name:<12}{fmt(base_iou):>14}{fmt(edge_iou):>13}")
+    drop = results["baseline"][0] - results["EdgePC"][0]
+    print(
+        f"\naccuracy drop with EdgePC: {drop * 100:+.1f} pp "
+        "(paper Fig. 14: within ~2% at full scale)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no `wheel` package and no network access, so PEP 517
+editable installs (which need bdist_wheel) fail; this file lets
+``pip install -e . --no-use-pep517`` fall back to `setup.py develop`.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Analysis utilities: grouping-traffic simulation, tensor-core
+channel-merge study, and report formatting."""
+
+from repro.analysis.grouping import (
+    GatherTraffic,
+    SetAssociativeCache,
+    SortedGatherComparison,
+    compare_sorted_gather,
+    duplicate_read_fraction,
+    simulate_gather,
+)
+from repro.analysis.reports import (
+    format_breakdown_row,
+    format_comparison_row,
+    format_layer_latencies,
+    geometric_mean,
+)
+from repro.analysis.tensorcore import (
+    MergePoint,
+    merge_analysis,
+    merge_split_error,
+    merge_split_features,
+)
+
+__all__ = [
+    "SetAssociativeCache",
+    "GatherTraffic",
+    "simulate_gather",
+    "compare_sorted_gather",
+    "SortedGatherComparison",
+    "duplicate_read_fraction",
+    "MergePoint",
+    "merge_analysis",
+    "merge_split_features",
+    "merge_split_error",
+    "format_breakdown_row",
+    "format_comparison_row",
+    "format_layer_latencies",
+    "geometric_mean",
+]

@@ -1,0 +1,60 @@
+"""Text report formatters for the experiment harness.
+
+Every benchmark prints its results through these helpers so the rows
+match the paper's tables/figures and are easy to diff against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.runtime.profiler import ComparisonReport, StageBreakdown
+
+
+def format_breakdown_row(name: str, breakdown: StageBreakdown) -> str:
+    """One Fig. 3-style row: stage shares of the E2E latency."""
+    total = breakdown.total_s
+    if total == 0:
+        return f"{name:<22}(empty trace)"
+    sn = breakdown.sample_and_neighbor_s / total * 100
+    grouping = breakdown.grouping_s / total * 100
+    feature = breakdown.feature_s / total * 100
+    return (
+        f"{name:<22}total {total * 1e3:9.2f} ms | "
+        f"sample+NS {sn:5.1f}% | grouping {grouping:5.1f}% | "
+        f"feature {feature:5.1f}%"
+    )
+
+
+def format_comparison_row(name: str, report: ComparisonReport) -> str:
+    """One Fig. 13-style row: speedups and energy saving."""
+    return (
+        f"{name:<6}S+N {report.sample_neighbor_speedup:5.2f}x | "
+        f"E2E {report.end_to_end_speedup:5.2f}x | "
+        f"energy saved {report.energy_saving_fraction * 100:5.1f}%"
+    )
+
+
+def format_layer_latencies(
+    per_layer_s: Dict[str, float], keys: Sequence[str]
+) -> str:
+    """Fig. 9/11-style per-layer latency listing (milliseconds)."""
+    lines = []
+    for key in keys:
+        value = per_layer_s.get(key, 0.0)
+        lines.append(f"  {key:<22}{value * 1e3:9.3f} ms")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geomean, the conventional average for speedup summaries."""
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

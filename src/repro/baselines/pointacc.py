@@ -1,0 +1,76 @@
+"""PointAcc mapping-unit model (paper Sec. 6.4, ref [35]).
+
+PointAcc is a custom accelerator whose *mapping unit* computes, for
+every sampling/neighbor query, full distance calculations in
+``O(N^2)`` time on dedicated hardware.  The paper argues EdgePC is
+orthogonal: replacing the mapping unit's distance computation with
+Morton-code generation (``O(N)``) would further boost PointAcc.
+
+This module models exactly that argument with operation counts: the
+mapping-unit work of a pipeline with and without Morton codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class MappingUnitModel:
+    """Counts the distance-unit operations PointAcc's mapping unit
+    performs for a PointNet++-style layer stack.
+
+    Args:
+        layer_sizes: ``(N_in, n_out)`` per sampling layer.
+        k: neighbors per query.
+    """
+
+    layer_sizes: Tuple[Tuple[int, int], ...]
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be positive")
+        for n_in, n_out in self.layer_sizes:
+            if not 1 <= n_out <= n_in:
+                raise ValueError("need 1 <= n_out <= n_in per layer")
+
+    def distance_ops(self) -> int:
+        """Distance calculations with the stock mapping unit: FPS
+        (``n*N``) plus neighbor search (``n*N``) per layer."""
+        total = 0
+        for n_in, n_out in self.layer_sizes:
+            total += n_out * n_in  # FPS distance updates
+            total += n_out * n_in  # neighbor-search scans
+        return total
+
+    def morton_ops(self, window_multiplier: int = 2) -> int:
+        """Operations with EdgePC folded into the mapping unit:
+        Morton generation (``N``) + bitonic-sort stages
+        (``N log2 N``) + window scans (``n*W``)."""
+        if window_multiplier < 1:
+            raise ValueError("window_multiplier must be >= 1")
+        import math
+
+        total = 0
+        for n_in, n_out in self.layer_sizes:
+            total += n_in  # code generation
+            total += int(n_in * max(1, math.ceil(math.log2(n_in))))
+            total += n_out * min(n_in, window_multiplier * self.k)
+        return total
+
+    def speedup(self, window_multiplier: int = 2) -> float:
+        """Mapping-unit operation reduction from adopting EdgePC."""
+        return self.distance_ops() / self.morton_ops(window_multiplier)
+
+
+def pointnet2_mapping_unit(
+    num_points: int, sa_points: Sequence[int], k: int = 32
+) -> MappingUnitModel:
+    """Build the mapping-unit model for a PointNet++ SA stack."""
+    sizes = [num_points] + list(sa_points)
+    layers = tuple(
+        (n_in, n_out) for n_in, n_out in zip(sizes[:-1], sizes[1:])
+    )
+    return MappingUnitModel(layer_sizes=layers, k=k)

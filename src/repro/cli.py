@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``workloads`` — print the Table 1 workload definitions;
+- ``profile``  — per-stage latency breakdown of a workload under a
+  configuration (Fig. 3 view);
+- ``compare``  — baseline-vs-EdgePC speedups and energy for one or all
+  workloads (Fig. 13 view);
+- ``sample``   — run a real sampler (fps / morton / uniform) on a
+  point-cloud file and write the result;
+- ``sweep``    — the Fig. 15a window-size sensitivity table on a file
+  or a synthetic cloud;
+- ``report``   — the one-shot headline summary: Fig. 3 breakdown,
+  Fig. 13 speedups/energy for all configs, and Table 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis import format_breakdown_row, format_comparison_row
+from repro.core import EdgePCConfig, MortonSampler
+from repro.core.dse import explore_window_sizes
+from repro.geometry import io as pc_io
+from repro.runtime import PipelineProfiler, compare
+from repro.sampling import farthest_point_sample, uniform_sample
+from repro.workloads import standard_workloads, trace
+
+CONFIGS = {
+    "baseline": EdgePCConfig.baseline,
+    "edgepc": EdgePCConfig.paper_default,
+    "tensorcores": EdgePCConfig.paper_with_tensor_cores,
+    "insights": EdgePCConfig.with_architectural_insights,
+}
+
+
+def _resolve_workloads(name: str):
+    specs = standard_workloads()
+    if name == "all":
+        return specs
+    if name not in specs:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from "
+            f"{', '.join(specs)} or 'all'"
+        )
+    return {name: specs[name]}
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    print(
+        f"{'Workload':<10}{'Model':<12}{'Dataset':<13}"
+        f"{'Points':>8}{'Batch':>7}  Task"
+    )
+    for name, spec in standard_workloads().items():
+        print(
+            f"{name:<10}{spec.model:<12}{spec.dataset:<13}"
+            f"{spec.points_per_batch:>8}{spec.batch_size:>7}  "
+            f"{spec.task.replace('_', ' ')}"
+        )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    config = CONFIGS[args.config]()
+    profiler = PipelineProfiler()
+    for name, spec in _resolve_workloads(args.workload).items():
+        breakdown = profiler.breakdown(trace(spec, config), config)
+        print(
+            format_breakdown_row(
+                f"{name} ({args.config})", breakdown
+            )
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    baseline = EdgePCConfig.baseline()
+    optimized = CONFIGS[args.config]()
+    if optimized.is_baseline:
+        raise SystemExit("compare needs a non-baseline --config")
+    profiler = PipelineProfiler()
+    for name, spec in _resolve_workloads(args.workload).items():
+        report = compare(
+            profiler,
+            trace(spec, baseline), baseline,
+            trace(spec, optimized), optimized,
+        )
+        print(format_comparison_row(name, report))
+    return 0
+
+
+def cmd_sample(args: argparse.Namespace) -> int:
+    cloud = pc_io.load(args.input)
+    n = args.num_samples
+    if not 1 <= n <= len(cloud):
+        raise SystemExit(
+            f"--num-samples must be in [1, {len(cloud)}]"
+        )
+    if args.method == "fps":
+        indices = farthest_point_sample(cloud.xyz, n, start_index=0)
+    elif args.method == "morton":
+        indices = MortonSampler().sample(cloud.xyz, n).indices
+    else:
+        indices = uniform_sample(cloud.xyz, n)
+    sampled = cloud.select(indices)
+    pc_io.save(sampled, args.output)
+    print(
+        f"sampled {n} of {len(cloud)} points with {args.method} -> "
+        f"{args.output}"
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.input:
+        cloud = pc_io.load(args.input).xyz
+    else:
+        rng = np.random.default_rng(args.seed)
+        cloud = rng.random((args.points, 3))
+    rng = np.random.default_rng(args.seed)
+    queries = rng.choice(
+        len(cloud), min(len(cloud), 512), replace=False
+    )
+    points = explore_window_sizes(
+        cloud, k=args.k,
+        multipliers=(1, 2, 4, 8, 16),
+        query_indices=queries,
+    )
+    print(f"{'W':>6}{'FNR':>9}{'speedup':>10}")
+    for p in points:
+        print(
+            f"{p.window:>6}{p.false_neighbor_ratio * 100:>8.1f}%"
+            f"{p.search_speedup:>9.1f}x"
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    profiler = PipelineProfiler()
+    baseline = EdgePCConfig.baseline()
+    specs = standard_workloads()
+
+    print("=== Baseline latency breakdown (Fig. 3) ===")
+    for name, spec in specs.items():
+        breakdown = profiler.breakdown(
+            trace(spec, baseline), baseline
+        )
+        print(format_breakdown_row(name, breakdown))
+
+    for label in ("edgepc", "tensorcores", "insights"):
+        config = CONFIGS[label]()
+        print(f"\n=== {label} vs baseline (Fig. 13) ===")
+        sn, e2e, energy = [], [], []
+        for name, spec in specs.items():
+            report = compare(
+                profiler,
+                trace(spec, baseline), baseline,
+                trace(spec, config), config,
+            )
+            sn.append(report.sample_neighbor_speedup)
+            e2e.append(report.end_to_end_speedup)
+            energy.append(report.energy_saving_fraction)
+            print(format_comparison_row(name, report))
+        print(
+            f"avg   S+N {sum(sn) / len(sn):5.2f}x | "
+            f"E2E {sum(e2e) / len(e2e):5.2f}x | "
+            f"energy saved {sum(energy) / len(energy) * 100:5.1f}%"
+        )
+
+    from repro.baselines import as_table
+
+    print("\n=== Prior-work comparison (Table 2) ===")
+    print(as_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EdgePC reproduction command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "workloads", help="print the Table 1 workloads"
+    ).set_defaults(func=cmd_workloads)
+
+    profile = sub.add_parser(
+        "profile", help="per-stage latency breakdown (Fig. 3 view)"
+    )
+    profile.add_argument("--workload", default="all")
+    profile.add_argument(
+        "--config", default="baseline", choices=sorted(CONFIGS)
+    )
+    profile.set_defaults(func=cmd_profile)
+
+    comp = sub.add_parser(
+        "compare", help="baseline vs EdgePC (Fig. 13 view)"
+    )
+    comp.add_argument("--workload", default="all")
+    comp.add_argument(
+        "--config", default="edgepc", choices=sorted(CONFIGS)
+    )
+    comp.set_defaults(func=cmd_compare)
+
+    sample = sub.add_parser(
+        "sample", help="down-sample a .ply/.xyz point cloud"
+    )
+    sample.add_argument("input")
+    sample.add_argument("output")
+    sample.add_argument(
+        "--method", default="morton",
+        choices=("fps", "morton", "uniform"),
+    )
+    sample.add_argument(
+        "-n", "--num-samples", type=int, default=1024
+    )
+    sample.set_defaults(func=cmd_sample)
+
+    sweep = sub.add_parser(
+        "sweep", help="window-size sensitivity (Fig. 15a view)"
+    )
+    sweep.add_argument("--input", default=None)
+    sweep.add_argument("--points", type=int, default=2048)
+    sweep.add_argument("--k", type=int, default=16)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(func=cmd_sweep)
+
+    sub.add_parser(
+        "report", help="one-shot headline summary of all experiments"
+    ).set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""EdgePC's primary contribution: Morton-code structurization and the
+approximate sampler / neighbor searcher built on it."""
+
+from repro.core.hilbert import hilbert_encode, hilbert_structurize
+from repro.core.morton import DEFAULT_CODE_BITS, decode, encode
+from repro.core.neighbor import MortonNeighborSearch
+from repro.core.pipeline import EdgePCConfig
+from repro.core.reuse import NeighborCache, NeighborReusePolicy
+from repro.core.sampler import (
+    MortonSampleResult,
+    MortonSampler,
+    MortonUpsampler,
+    exact_interpolate,
+)
+from repro.core.sort import radix_argsort, radix_sort
+from repro.core.streaming import StreamingMortonOrder
+from repro.core.structurize import MortonOrder, structurize, structuredness
+
+__all__ = [
+    "DEFAULT_CODE_BITS",
+    "encode",
+    "decode",
+    "structurize",
+    "structuredness",
+    "MortonOrder",
+    "MortonSampler",
+    "MortonSampleResult",
+    "MortonUpsampler",
+    "exact_interpolate",
+    "MortonNeighborSearch",
+    "NeighborReusePolicy",
+    "NeighborCache",
+    "EdgePCConfig",
+    "radix_argsort",
+    "radix_sort",
+    "StreamingMortonOrder",
+    "hilbert_encode",
+    "hilbert_structurize",
+]

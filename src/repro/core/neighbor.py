@@ -1,0 +1,142 @@
+"""EdgePC's Morton-code-based (index-window) neighbor search
+(paper Sec. 5.2).
+
+For a query at sorted rank ``j``, the candidate set is the window of
+ranks ``{j - W/2, ..., j + W/2}`` in the Morton order.  With ``W == k``
+the window is taken verbatim ("skip" the search entirely); with
+``W > k`` the ``k`` geometrically closest candidates inside the window
+are selected, trading a little compute (``O(W)`` per query instead of
+``O(1)``) for a much lower false neighbor ratio (Fig. 15a).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.structurize import MortonOrder, structurize
+from repro.core import morton
+
+
+def window_ranks(
+    query_ranks: np.ndarray, window: int, num_points: int
+) -> np.ndarray:
+    """``(Q, W)`` candidate ranks around each query rank.
+
+    Windows are shifted (not truncated) at the array boundaries so every
+    query sees exactly ``W`` distinct candidates, mirroring how a CUDA
+    kernel would clamp its index arithmetic.
+    """
+    if window < 1:
+        raise ValueError("window must be positive")
+    if window > num_points:
+        raise ValueError("window cannot exceed the point count")
+    query_ranks = np.asarray(query_ranks, dtype=np.int64)
+    start = query_ranks - window // 2
+    start = np.clip(start, 0, num_points - window)
+    return start[:, None] + np.arange(window, dtype=np.int64)[None, :]
+
+
+class MortonNeighborSearch:
+    """Approximate k-NN via index windows on the Morton order.
+
+    Args:
+        k: number of neighbors per query.
+        window: search window size ``W`` (``k <= W <= N``).  ``None``
+            defaults to ``k`` (the pure index-selection mode).
+        code_bits: Morton code width used if a cloud must be
+            structurized from scratch.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        window: Optional[int] = None,
+        code_bits: int = morton.DEFAULT_CODE_BITS,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        window = k if window is None else window
+        if window < k:
+            raise ValueError("window must be >= k")
+        morton.bits_per_axis(code_bits)
+        self.k = k
+        self.window = window
+        self.code_bits = code_bits
+
+    def search_ranks(
+        self,
+        points: np.ndarray,
+        order: MortonOrder,
+        query_ranks: np.ndarray,
+    ) -> np.ndarray:
+        """Neighbors for queries given by *sorted rank*.
+
+        Returns ``(Q, k)`` original-point indices.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if len(order) != points.shape[0]:
+            raise ValueError("Morton order does not match the point count")
+        n = len(order)
+        if self.window > n:
+            raise ValueError(
+                f"window {self.window} exceeds point count {n}"
+            )
+        candidates = window_ranks(query_ranks, self.window, n)
+        if self.window == self.k:
+            picked = candidates
+        else:
+            sorted_xyz = order.sorted_points(points)
+            cand_xyz = sorted_xyz[candidates]  # (Q, W, 3)
+            query_xyz = sorted_xyz[np.asarray(query_ranks)]
+            d2 = np.sum(
+                (cand_xyz - query_xyz[:, None, :]) ** 2, axis=2
+            )
+            pick = np.argsort(d2, axis=1, kind="stable")[:, : self.k]
+            rows = np.arange(candidates.shape[0])[:, None]
+            picked = candidates[rows, pick]
+        return order.original_index_of(picked)
+
+    def search(
+        self,
+        points: np.ndarray,
+        query_indices: Optional[np.ndarray] = None,
+        order: Optional[MortonOrder] = None,
+    ) -> np.ndarray:
+        """Neighbors for queries given by *original index*.
+
+        Args:
+            points: ``(N, 3)`` cloud.
+            query_indices: original indices to query; all points when
+                omitted.
+            order: precomputed Morton order to reuse (Sec. 5.2.3 —
+                "simply reuse the Morton code ... without any extra
+                overhead"); structurized from scratch when omitted.
+
+        Returns:
+            ``(Q, k)`` original-point indices.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if order is None:
+            order = structurize(points, self.code_bits)
+        if query_indices is None:
+            query_ranks = np.arange(len(order))
+            # All points queried in rank order: remap output rows back
+            # to original order below.
+            result = self.search_ranks(points, order, query_ranks)
+            out = np.empty_like(result)
+            out[order.permutation] = result
+            return out
+        query_ranks = order.rank_of(np.asarray(query_indices))
+        return self.search_ranks(points, order, query_ranks)
+
+    def operation_count(self, num_queries: int) -> int:
+        """Distance evaluations performed: ``Q`` for pure indexing
+        (one gather per neighbor, priced as O(k) <= O(W)), else
+        ``Q * W``."""
+        if num_queries < 0:
+            raise ValueError("num_queries must be non-negative")
+        if self.window == self.k:
+            return num_queries * self.k
+        return num_queries * self.window

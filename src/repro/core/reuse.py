@@ -1,0 +1,96 @@
+"""Neighbor-index reuse across CNN modules (paper Sec. 5.2.3).
+
+DGCNN's later EdgeConv modules run kNN in *feature* space, which Morton
+codes (3-D) cannot index.  EdgePC instead interleaves "reuse" and
+"compute": with reuse distance 1, module 2 reuses module 1's neighbor
+indices, module 3 recomputes, module 4 reuses module 3's, and so on.
+The justification is temporal stability — a point's neighborhood changes
+little between consecutive layers.
+
+:class:`NeighborReusePolicy` encodes that schedule, and
+:class:`NeighborCache` is the small GPU-memory buffer the paper budgets
+(up to 160 KB per batch) holding the most recent index matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NeighborReusePolicy:
+    """Decides, per module index, whether to reuse stored indices.
+
+    Args:
+        reuse_distance: how many consecutive modules reuse one computed
+            result.  0 disables reuse (always compute); 1 is the paper's
+            default (compute, reuse, compute, reuse, ...).
+        first_compute_module: index of the first module that computes
+            (modules before it always compute too — module 0 must).
+    """
+
+    reuse_distance: int = 1
+    first_compute_module: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reuse_distance < 0:
+            raise ValueError("reuse_distance must be non-negative")
+        if self.first_compute_module < 0:
+            raise ValueError("first_compute_module must be non-negative")
+
+    def should_reuse(self, module_index: int) -> bool:
+        """True if ``module_index`` should reuse the cached indices."""
+        if module_index < 0:
+            raise ValueError("module_index must be non-negative")
+        if self.reuse_distance == 0:
+            return False
+        if module_index <= self.first_compute_module:
+            return False
+        phase = (module_index - self.first_compute_module) % (
+            self.reuse_distance + 1
+        )
+        return phase != 0
+
+    def schedule(self, num_modules: int) -> list:
+        """``['compute' | 'reuse']`` per module, for reports and tests."""
+        return [
+            "reuse" if self.should_reuse(i) else "compute"
+            for i in range(num_modules)
+        ]
+
+
+class NeighborCache:
+    """Holds the most recently computed neighbor-index matrix."""
+
+    def __init__(self) -> None:
+        self._indices: Optional[np.ndarray] = None
+
+    @property
+    def is_empty(self) -> bool:
+        return self._indices is None
+
+    def store(self, indices: np.ndarray) -> None:
+        indices = np.asarray(indices)
+        if indices.ndim not in (2, 3):
+            raise ValueError(
+                "neighbor index matrix must be (Q, k) or (B, Q, k)"
+            )
+        self._indices = indices
+
+    def load(self) -> np.ndarray:
+        if self._indices is None:
+            raise RuntimeError("neighbor cache is empty; nothing to reuse")
+        return self._indices
+
+    def clear(self) -> None:
+        self._indices = None
+
+    @property
+    def memory_bytes(self) -> int:
+        """Buffer footprint (the paper budgets <= 160 KB per batch)."""
+        if self._indices is None:
+            return 0
+        return int(self._indices.nbytes)

@@ -1,0 +1,146 @@
+"""Streaming Morton-order maintenance across frames.
+
+The paper's motivating applications (AR/VR, autonomous driving,
+Sec. 2.1.1) process *streams* of point-cloud frames.  Re-structurizing
+every frame from scratch repeats the full sort; when consecutive
+frames overlap heavily (a scanner panning a scene), it is cheaper to
+*maintain* the order: encode only the new points and merge them into
+the standing sorted sequence (``O(new log new + N)`` instead of
+``O(N log N)``), and drop departed points with a mask.
+
+:class:`StreamingMortonOrder` implements that maintenance over a fixed
+scene-level grid (codes must be comparable across frames, so the
+bounding box is supplied up front, exactly as
+:class:`~repro.core.sampler.MortonSampler` supports).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import morton
+from repro.core.structurize import MortonOrder
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.voxel import VoxelGrid
+
+
+class StreamingMortonOrder:
+    """Maintains a Morton-sorted point set across insertions/removals.
+
+    Args:
+        bounding_box: the fixed scene-level quantization domain.
+        code_bits: Morton code width.
+
+    The object stores points in sorted order internally;
+    :attr:`points` exposes them, and :meth:`as_order` materializes a
+    standard :class:`MortonOrder` view for the samplers/searchers.
+    """
+
+    def __init__(
+        self,
+        bounding_box: BoundingBox,
+        code_bits: int = morton.DEFAULT_CODE_BITS,
+    ) -> None:
+        per_axis = morton.bits_per_axis(code_bits)
+        self.code_bits = code_bits
+        self.grid = VoxelGrid.for_box(bounding_box, per_axis)
+        self._points = np.empty((0, 3), dtype=np.float64)
+        self._codes = np.empty(0, dtype=np.int64)
+        #: Sort work performed so far, in merge-equivalent element ops
+        #: (for comparing against from-scratch re-sorts).
+        self.maintenance_ops = 0
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+    @property
+    def points(self) -> np.ndarray:
+        """The current point set, in Morton order (read-only view)."""
+        return self._points
+
+    @property
+    def codes(self) -> np.ndarray:
+        return self._codes
+
+    def insert(self, new_points: np.ndarray) -> None:
+        """Merge new points into the standing order.
+
+        Cost: sorting the new block plus one linear merge — cheaper
+        than re-sorting everything when ``len(new) << len(self)``.
+        """
+        new_points = np.asarray(new_points, dtype=np.float64)
+        if new_points.ndim != 2 or new_points.shape[1] != 3:
+            raise ValueError(
+                f"expected (M, 3) points, got {new_points.shape}"
+            )
+        if new_points.shape[0] == 0:
+            return
+        new_codes = morton.encode(self.grid.voxelize(new_points))
+        block_order = np.argsort(new_codes, kind="stable")
+        new_codes = new_codes[block_order]
+        new_points = new_points[block_order]
+        positions = np.searchsorted(
+            self._codes, new_codes, side="right"
+        )
+        self._codes = np.insert(self._codes, positions, new_codes)
+        self._points = np.insert(
+            self._points, positions, new_points, axis=0
+        )
+        m = new_points.shape[0]
+        self.maintenance_ops += int(
+            m * max(1, np.log2(max(m, 2))) + len(self)
+        )
+
+    def remove_outside(self, box: BoundingBox) -> int:
+        """Drop points outside ``box`` (scene scrolling); returns the
+        number removed.  Order is preserved (mask keeps sortedness)."""
+        keep = box.contains(self._points)
+        removed = int((~keep).sum())
+        if removed:
+            self._points = self._points[keep]
+            self._codes = self._codes[keep]
+            self.maintenance_ops += len(keep)
+        return removed
+
+    def remove_oldest_duplicates(self) -> int:
+        """Keep only the most recent point per occupied voxel — a
+        simple stream-compaction policy bounding memory on long scans.
+        Returns the number removed."""
+        if len(self) == 0:
+            return 0
+        # Later insertions land after earlier equal codes
+        # (side="right"), so keeping each run's last entry keeps the
+        # newest.
+        last_of_run = np.append(np.diff(self._codes) != 0, True)
+        removed = int((~last_of_run).sum())
+        if removed:
+            self._points = self._points[last_of_run]
+            self._codes = self._codes[last_of_run]
+            self.maintenance_ops += len(last_of_run)
+        return removed
+
+    def as_order(self) -> MortonOrder:
+        """A standard :class:`MortonOrder` over the current points.
+
+        The internal storage *is* sorted, so the permutation is the
+        identity — downstream samplers/searchers work unmodified.
+        """
+        n = len(self)
+        if n == 0:
+            raise ValueError("stream holds no points")
+        identity = np.arange(n, dtype=np.int64)
+        return MortonOrder(
+            codes=self._codes.copy(),
+            permutation=identity,
+            ranks=identity.copy(),
+            grid=self.grid,
+            code_bits=self.code_bits,
+        )
+
+    def scratch_resort_ops(self) -> int:
+        """Element ops a from-scratch re-sort of the current set would
+        cost (``N log N``) — the baseline for maintenance_ops."""
+        n = len(self)
+        if n == 0:
+            return 0
+        return int(n * max(1, np.ceil(np.log2(n))))

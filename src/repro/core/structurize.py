@@ -1,0 +1,146 @@
+"""Structurizing point clouds: Morton ordering (paper Sec. 4.1).
+
+The :class:`MortonOrder` object captures everything downstream consumers
+need from the structurization step:
+
+- the Morton ``codes`` of the points (in original order),
+- the ``permutation`` ``I' = [i_0, ..., i_{N-1}]`` mapping sorted rank to
+  original index (``i_0`` has the minimum code),
+- the inverse ``ranks`` mapping original index to sorted rank,
+- the :class:`~repro.geometry.voxel.VoxelGrid` used for quantization.
+
+EdgePC's sampler and neighbor searcher then operate purely on ranks:
+index arithmetic on the sorted order replaces geometric search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core import morton
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.voxel import VoxelGrid
+
+
+@dataclass(frozen=True)
+class MortonOrder:
+    """The result of structurizing a point cloud with Morton codes."""
+
+    codes: np.ndarray
+    permutation: np.ndarray
+    ranks: np.ndarray
+    grid: VoxelGrid
+    code_bits: int
+
+    def __post_init__(self) -> None:
+        if (
+            self.codes.shape != self.permutation.shape
+            or self.codes.shape != self.ranks.shape
+        ):
+            raise ValueError("codes/permutation/ranks must align")
+
+    def __len__(self) -> int:
+        return self.codes.shape[0]
+
+    @property
+    def sorted_codes(self) -> np.ndarray:
+        """Codes in ascending order (the 'structured' view)."""
+        return self.codes[self.permutation]
+
+    def sorted_points(self, points: np.ndarray) -> np.ndarray:
+        """View the original ``(N, ...)`` point array in Morton order."""
+        return np.asarray(points)[self.permutation]
+
+    def rank_of(self, original_indices: np.ndarray) -> np.ndarray:
+        """Sorted rank of each original point index."""
+        return self.ranks[np.asarray(original_indices)]
+
+    def original_index_of(self, sorted_ranks: np.ndarray) -> np.ndarray:
+        """Original index of each sorted rank (``I'`` lookup)."""
+        return self.permutation[np.asarray(sorted_ranks)]
+
+    @property
+    def memory_overhead_bytes(self) -> float:
+        """Extra storage for the codes: ``N * a / 8`` B (Sec. 5.1.3)."""
+        return morton.code_memory_bytes(len(self), self.code_bits)
+
+
+def structurize(
+    points: np.ndarray,
+    code_bits: int = morton.DEFAULT_CODE_BITS,
+    bounding_box: Optional[BoundingBox] = None,
+    stable_sort: bool = True,
+    curve: str = "morton",
+) -> MortonOrder:
+    """Compute the space-filling-curve order of ``(N, 3)`` points.
+
+    Args:
+        points: ``(N, 3)`` coordinates.
+        code_bits: total Morton code width ``a``; each axis gets
+            ``floor(a / 3)`` bits.  The paper's default is 32.
+        bounding_box: the quantization domain.  Defaults to the tight box
+            of the points; pass an explicit box to share a grid across
+            frames (e.g. streaming LiDAR).
+        stable_sort: use a stable sort so ties (points in the same voxel)
+            keep their input order, making the pipeline deterministic.
+        curve: ``"morton"`` (the paper's choice) or ``"hilbert"``
+            (better locality, ~4x costlier encoding — see the
+            curve-choice ablation).
+
+    Returns:
+        A :class:`MortonOrder` carrying codes, the rank permutation, its
+        inverse, and the voxel grid used.
+    """
+    if curve == "hilbert":
+        from repro.core.hilbert import hilbert_structurize
+
+        return hilbert_structurize(points, code_bits, bounding_box)
+    if curve != "morton":
+        raise ValueError(f"unknown curve {curve!r}")
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"expected (N, 3) points, got {points.shape}")
+    if points.shape[0] == 0:
+        raise ValueError("cannot structurize an empty point set")
+    if not np.isfinite(points).all():
+        raise ValueError("points contain non-finite coordinates")
+    per_axis = morton.bits_per_axis(code_bits)
+    box = bounding_box or BoundingBox.of_points(points)
+    grid = VoxelGrid.for_box(box, per_axis)
+    codes = morton.encode(grid.voxelize(points))
+    kind = "stable" if stable_sort else "quicksort"
+    permutation = np.argsort(codes, kind=kind)
+    ranks = np.empty_like(permutation)
+    ranks[permutation] = np.arange(len(permutation))
+    return MortonOrder(
+        codes=codes,
+        permutation=permutation,
+        ranks=ranks,
+        grid=grid,
+        code_bits=code_bits,
+    )
+
+
+def structuredness(order: MortonOrder, points: np.ndarray) -> float:
+    """A scalar measure of how 'structured' the ordering left the cloud.
+
+    Defined as the mean distance between consecutive points in the given
+    order, normalized by the same statistic for a random order.  A value
+    of 1.0 means no better than random; Morton-sorted clouds typically
+    score far below 1 because consecutive points are spatial neighbors.
+    (Used by the quantitative analysis mirroring paper Sec. 4.3.)
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if len(points) < 3:
+        return 1.0
+    ordered = order.sorted_points(points)
+    sorted_gap = np.linalg.norm(np.diff(ordered, axis=0), axis=1).mean()
+    rng = np.random.default_rng(0)
+    shuffled = points[rng.permutation(len(points))]
+    random_gap = np.linalg.norm(np.diff(shuffled, axis=0), axis=1).mean()
+    if random_gap == 0:
+        return 1.0
+    return float(sorted_gap / random_gap)

@@ -1,0 +1,94 @@
+"""Composable augmentation pipelines for training.
+
+Wraps the per-cloud transforms of :mod:`repro.geometry.transforms`
+into a composable pipeline and a dataset adapter, giving the trainers
+the standard PointNet-family augmentation stack (rotate -> scale ->
+jitter -> dropout) with one seeded generator per (epoch, cloud) so
+training stays reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.datasets.base import SyntheticDataset
+from repro.geometry.points import PointCloud
+from repro.geometry import transforms
+
+#: A transform takes (cloud, rng) and returns a new cloud.
+Transform = Callable[[PointCloud, np.random.Generator], PointCloud]
+
+
+class Compose:
+    """Apply transforms in sequence, sharing one generator."""
+
+    def __init__(self, steps: Sequence[Transform]) -> None:
+        self.steps: List[Transform] = list(steps)
+
+    def __call__(
+        self, cloud: PointCloud, rng: np.random.Generator
+    ) -> PointCloud:
+        for step in self.steps:
+            cloud = step(cloud, rng)
+        return cloud
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def standard_augmentation(
+    jitter_sigma: float = 0.01,
+    scale_low: float = 0.9,
+    scale_high: float = 1.1,
+    max_dropout: float = 0.2,
+) -> Compose:
+    """The usual PointNet-family training stack."""
+    return Compose(
+        [
+            transforms.random_rotate_z,
+            lambda c, g: transforms.random_scale(
+                c, g, scale_low, scale_high
+            ),
+            lambda c, g: transforms.jitter(c, g, jitter_sigma),
+            lambda c, g: transforms.random_dropout(c, g, max_dropout),
+        ]
+    )
+
+
+class AugmentedDataset(SyntheticDataset):
+    """A dataset view that augments every cloud deterministically.
+
+    The generator for cloud ``i`` is seeded from
+    ``(seed, epoch, i)``; call :meth:`set_epoch` between epochs to
+    refresh the augmentations while keeping runs reproducible.
+    """
+
+    def __init__(
+        self,
+        base: SyntheticDataset,
+        augmentation: Compose,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            num_clouds=len(base),
+            points_per_cloud=base.points_per_cloud,
+            seed=seed,
+        )
+        self.base = base
+        self.augmentation = augmentation
+        self.epoch = 0
+
+    def set_epoch(self, epoch: int) -> None:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        self.epoch = epoch
+
+    def _generate(
+        self, index: int, rng: np.random.Generator
+    ) -> PointCloud:
+        del rng  # replaced by the epoch-aware generator below
+        cloud = self.base[index]
+        gen = np.random.default_rng((self.seed, self.epoch, index))
+        return self.augmentation(cloud, gen)

@@ -1,0 +1,138 @@
+"""Dataset protocol and batching utilities.
+
+All datasets in the reproduction are *procedural*: they synthesize
+labelled point clouds on demand from a seed, so experiments are fully
+deterministic and need no downloads.  Each dataset mirrors one of the
+paper's Table 1 datasets in the properties that matter to EdgePC —
+points per cloud, irregular density, and learnable labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.geometry.points import PointCloud
+
+
+class SyntheticDataset:
+    """Base class: deterministic, index-addressable cloud generator.
+
+    Subclasses implement :meth:`_generate` to build the ``i``-th cloud;
+    the base class provides batching and train/test splits.
+    """
+
+    def __init__(
+        self, num_clouds: int, points_per_cloud: int, seed: int = 0
+    ) -> None:
+        if num_clouds < 1:
+            raise ValueError("num_clouds must be positive")
+        if points_per_cloud < 1:
+            raise ValueError("points_per_cloud must be positive")
+        self.num_clouds = num_clouds
+        self.points_per_cloud = points_per_cloud
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return self.num_clouds
+
+    def _generate(self, index: int, rng: np.random.Generator) -> PointCloud:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> PointCloud:
+        if not 0 <= index < self.num_clouds:
+            raise IndexError(f"index {index} out of range")
+        rng = np.random.default_rng((self.seed, index))
+        cloud = self._generate(index, rng)
+        if len(cloud) != self.points_per_cloud:
+            raise RuntimeError(
+                f"generator produced {len(cloud)} points, expected "
+                f"{self.points_per_cloud}"
+            )
+        return cloud
+
+    def __iter__(self) -> Iterator[PointCloud]:
+        for i in range(self.num_clouds):
+            yield self[i]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A fixed-size batch of clouds, stacked for the batched models.
+
+    Attributes:
+        xyz: ``(B, N, 3)`` coordinates.
+        labels: ``(B,)`` cloud labels (classification) or ``(B, N)``
+            per-point labels (segmentation).
+    """
+
+    xyz: np.ndarray
+    labels: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return self.xyz.shape[0]
+
+    @property
+    def points_per_cloud(self) -> int:
+        return self.xyz.shape[1]
+
+
+def make_batches(
+    dataset: SyntheticDataset,
+    batch_size: int,
+    indices: List[int] = None,
+    per_point_labels: bool = False,
+    drop_last: bool = True,
+) -> List[Batch]:
+    """Stack dataset clouds into :class:`Batch` objects.
+
+    Classification datasets put the cloud label on every point's
+    ``labels`` array; ``per_point_labels`` selects which view the batch
+    exposes.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    if indices is None:
+        indices = list(range(len(dataset)))
+    batches: List[Batch] = []
+    for lo in range(0, len(indices), batch_size):
+        chunk = indices[lo : lo + batch_size]
+        if drop_last and len(chunk) < batch_size:
+            break
+        clouds = [dataset[i] for i in chunk]
+        xyz = np.stack([c.xyz for c in clouds])
+        if per_point_labels:
+            labels = np.stack([c.labels for c in clouds])
+        else:
+            labels = np.array(
+                [int(c.labels[0]) for c in clouds], dtype=np.int64
+            )
+        batches.append(Batch(xyz=xyz, labels=labels))
+    if not batches:
+        raise ValueError("dataset too small for one full batch")
+    return batches
+
+
+def train_test_split(
+    dataset: SyntheticDataset,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> Tuple[List[int], List[int]]:
+    """Deterministic shuffled index split.
+
+    A seeded shuffle (rather than interleaving) avoids aliasing with
+    the datasets' label cycle (cloud ``i`` is class ``i % C``), which
+    would otherwise put a single class in the test set.
+    """
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    order = np.random.default_rng(seed).permutation(len(dataset))
+    num_test = max(1, int(round(len(dataset) * test_fraction)))
+    if num_test >= len(dataset):
+        raise ValueError("split produced an empty side")
+    test = sorted(order[:num_test].tolist())
+    train = sorted(order[num_test:].tolist())
+    return train, test

@@ -1,0 +1,218 @@
+"""S3DIS-like and ScanNet-like synthetic indoor-scene datasets.
+
+Both real datasets are RGB-D / LiDAR scans of rooms with per-point
+semantic labels, preprocessed into fixed-size blocks (Table 1: 8192
+points for S3DIS/ScanNet with PointNet++(s) and DGCNN(s), 4096 for
+DGCNN(s) on S3DIS).  The stand-ins build rooms from labelled surfaces —
+floor, ceiling, walls, tables, chairs, clutter — with scanner-like
+density falloff; the ScanNet variant additionally drops a random
+half-space chunk and adds sensor noise, mimicking partial scans.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.datasets.base import SyntheticDataset
+from repro.geometry.points import PointCloud
+from repro.geometry import shapes
+
+#: Semantic classes shared by both indoor datasets.
+CLASS_FLOOR = 0
+CLASS_CEILING = 1
+CLASS_WALL = 2
+CLASS_TABLE = 3
+CLASS_CHAIR = 4
+CLASS_CLUTTER = 5
+NUM_SEMANTIC_CLASSES = 6
+
+
+def _room_surfaces(
+    n: int, rng: np.random.Generator
+) -> List[tuple]:
+    """Build the labelled surfaces of one room; returns
+    ``[(points, label), ...]`` summing to ``n`` points."""
+    width = rng.uniform(4.0, 8.0)
+    depth = rng.uniform(4.0, 8.0)
+    height = rng.uniform(2.5, 3.5)
+    num_tables = int(rng.integers(1, 4))
+    num_chairs = int(rng.integers(2, 6))
+    num_clutter = int(rng.integers(2, 5))
+
+    weights = {
+        "floor": 0.22,
+        "ceiling": 0.12,
+        "walls": 0.3,
+        "tables": 0.12,
+        "chairs": 0.12,
+        "clutter": 0.12,
+    }
+    total = sum(weights.values())
+    counts = {
+        key: max(8, int(n * value / total))
+        for key, value in weights.items()
+    }
+    counts["floor"] += n - sum(counts.values())
+
+    surfaces: List[tuple] = []
+    floor = shapes.sample_plane(
+        counts["floor"], rng, (width, depth), density_bias=0.6
+    )
+    surfaces.append((floor, CLASS_FLOOR))
+    ceiling = shapes.sample_plane(counts["ceiling"], rng, (width, depth))
+    ceiling[:, 2] += height
+    surfaces.append((ceiling, CLASS_CEILING))
+
+    walls = np.empty((counts["walls"], 3))
+    side = rng.integers(0, 4, counts["walls"])
+    u = rng.random(counts["walls"])
+    v = rng.random(counts["walls"]) ** 1.4  # denser near the floor
+    walls[:, 2] = v * height
+    for s in range(4):
+        mask = side == s
+        if s == 0:
+            walls[mask, 0] = (u[mask] - 0.5) * width
+            walls[mask, 1] = -depth / 2
+        elif s == 1:
+            walls[mask, 0] = (u[mask] - 0.5) * width
+            walls[mask, 1] = depth / 2
+        elif s == 2:
+            walls[mask, 0] = -width / 2
+            walls[mask, 1] = (u[mask] - 0.5) * depth
+        else:
+            walls[mask, 0] = width / 2
+            walls[mask, 1] = (u[mask] - 0.5) * depth
+    surfaces.append((walls, CLASS_WALL))
+
+    def _place(points: np.ndarray) -> np.ndarray:
+        points = points.copy()
+        points[:, 0] += rng.uniform(-width / 2 + 1, width / 2 - 1)
+        points[:, 1] += rng.uniform(-depth / 2 + 1, depth / 2 - 1)
+        return points
+
+    per_table = counts["tables"] // num_tables
+    tables = []
+    for _ in range(num_tables):
+        top = shapes.sample_box(per_table, rng, (1.4, 0.8, 0.08))
+        top[:, 2] += 0.75
+        tables.append(_place(top))
+    leftover = counts["tables"] - per_table * num_tables
+    if leftover:
+        extra = shapes.sample_box(leftover, rng, (1.4, 0.8, 0.08))
+        extra[:, 2] += 0.75
+        tables.append(_place(extra))
+    surfaces.append((np.concatenate(tables), CLASS_TABLE))
+
+    per_chair = counts["chairs"] // num_chairs
+    chairs = []
+    for _ in range(num_chairs):
+        seat = shapes.sample_capsule(per_chair, rng, 0.22, 0.5)
+        seat[:, 2] += 0.45
+        chairs.append(_place(seat))
+    leftover = counts["chairs"] - per_chair * num_chairs
+    if leftover:
+        extra = shapes.sample_capsule(leftover, rng, 0.22, 0.5)
+        extra[:, 2] += 0.45
+        chairs.append(_place(extra))
+    surfaces.append((np.concatenate(chairs), CLASS_CHAIR))
+
+    per_blob = counts["clutter"] // num_clutter
+    blobs = []
+    for _ in range(num_clutter):
+        blob = shapes.sample_gaussian_blob(per_blob, rng, (0.2, 0.2, 0.2))
+        blob[:, 2] = np.abs(blob[:, 2]) + 0.1
+        blobs.append(_place(blob))
+    leftover = counts["clutter"] - per_blob * num_clutter
+    if leftover:
+        blob = shapes.sample_gaussian_blob(leftover, rng, (0.2, 0.2, 0.2))
+        blob[:, 2] = np.abs(blob[:, 2]) + 0.1
+        blobs.append(_place(blob))
+    surfaces.append((np.concatenate(blobs), CLASS_CLUTTER))
+    return surfaces
+
+
+def _assemble(
+    surfaces: List[tuple], rng: np.random.Generator
+) -> PointCloud:
+    xyz = np.concatenate([points for points, _ in surfaces])
+    labels = np.concatenate(
+        [
+            np.full(len(points), label, dtype=np.int64)
+            for points, label in surfaces
+        ]
+    )
+    order = rng.permutation(len(xyz))
+    xyz = xyz[order]
+    labels = labels[order]
+    # Normalize per block, as the segmentation pipelines do.
+    xyz = xyz - xyz.mean(axis=0)
+    scale = np.abs(xyz).max()
+    if scale > 0:
+        xyz = xyz / scale
+    return PointCloud(xyz, labels=labels)
+
+
+class S3DISLike(SyntheticDataset):
+    """Clean indoor rooms with semantic labels (Table 1 W1/W5)."""
+
+    num_semantic_classes = NUM_SEMANTIC_CLASSES
+
+    def __init__(
+        self,
+        num_clouds: int = 16,
+        points_per_cloud: int = 8192,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_clouds, points_per_cloud, seed)
+
+    def _generate(self, index: int, rng: np.random.Generator) -> PointCloud:
+        return _assemble(
+            _room_surfaces(self.points_per_cloud, rng), rng
+        )
+
+
+class ScanNetLike(SyntheticDataset):
+    """Partial, noisy indoor scans (Table 1 W2/W6).
+
+    Same room generator as :class:`S3DISLike`, then: a random
+    half-space chunk is deleted and refilled by resampling the
+    remainder (scan occlusion), and Gaussian sensor noise is added.
+    """
+
+    num_semantic_classes = NUM_SEMANTIC_CLASSES
+
+    def __init__(
+        self,
+        num_clouds: int = 16,
+        points_per_cloud: int = 8192,
+        seed: int = 0,
+        noise_sigma: float = 0.005,
+    ) -> None:
+        super().__init__(num_clouds, points_per_cloud, seed)
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        self.noise_sigma = noise_sigma
+
+    def _generate(self, index: int, rng: np.random.Generator) -> PointCloud:
+        cloud = _assemble(
+            _room_surfaces(self.points_per_cloud, rng), rng
+        )
+        # Occlude: delete points on one side of a random plane through
+        # a point offset from the center, then resample back to size.
+        normal = rng.normal(size=3)
+        normal /= np.linalg.norm(normal)
+        offset = rng.uniform(0.3, 0.6)
+        keep = (cloud.xyz @ normal) < offset
+        if keep.sum() < self.points_per_cloud // 2:
+            keep = ~keep
+        kept_idx = np.flatnonzero(keep)
+        refill = rng.choice(
+            kept_idx, self.points_per_cloud - kept_idx.size, replace=True
+        )
+        indices = np.concatenate([kept_idx, refill])
+        xyz = cloud.xyz[indices] + rng.normal(
+            0, self.noise_sigma, (self.points_per_cloud, 3)
+        )
+        return PointCloud(xyz, labels=cloud.labels[indices])

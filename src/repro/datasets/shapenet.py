@@ -1,0 +1,127 @@
+"""ShapeNet-part-like synthetic part-segmentation dataset.
+
+The real ShapeNet part benchmark labels each point of an object with
+the part it belongs to (e.g. a lamp's base / pole / shade).  This
+stand-in composes objects from labelled parametric parts, 2048 points
+per cloud (Table 1 W4), with per-object pose and proportion variation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.datasets.base import SyntheticDataset
+from repro.geometry.points import PointCloud
+from repro.geometry import shapes
+from repro.geometry.transforms import normalize_unit_sphere
+
+#: Part labels shared across all object categories.
+PART_BASE = 0
+PART_BODY = 1
+PART_TOP = 2
+PART_APPENDAGE = 3
+NUM_PARTS = 4
+
+
+def _lamp(n: int, rng: np.random.Generator):
+    """Base plate + pole + cone shade."""
+    counts = _split_counts(n, (0.25, 0.35, 0.4))
+    base = shapes.sample_box(counts[0], rng, (0.8, 0.8, 0.1))
+    pole = shapes.sample_cylinder(counts[1], rng, 0.08, 1.6)
+    pole[:, 2] += 0.8
+    shade = shapes.sample_cone(counts[2], rng, 0.55, 0.5)
+    shade[:, 2] += 1.5
+    return (
+        [base, pole, shade],
+        [PART_BASE, PART_BODY, PART_TOP],
+    )
+
+
+def _table(n: int, rng: np.random.Generator):
+    """Top slab + four legs."""
+    counts = _split_counts(n, (0.5, 0.5))
+    top = shapes.sample_box(counts[0], rng, (1.6, 1.0, 0.1))
+    top[:, 2] += 0.8
+    legs = shapes.sample_cylinder(counts[1], rng, 0.06, 0.8)
+    corner = rng.integers(0, 4, counts[1])
+    legs[:, 0] += np.where(corner % 2 == 0, -0.7, 0.7)
+    legs[:, 1] += np.where(corner < 2, -0.4, 0.4)
+    legs[:, 2] += 0.4
+    return [top, legs], [PART_TOP, PART_BASE]
+
+
+def _rocket(n: int, rng: np.random.Generator):
+    """Body tube + nose cone + fins."""
+    counts = _split_counts(n, (0.5, 0.25, 0.25))
+    body = shapes.sample_cylinder(counts[0], rng, 0.3, 1.6)
+    nose = shapes.sample_cone(counts[1], rng, 0.3, 0.6)
+    nose[:, 2] += 0.8
+    fins = shapes.sample_box(counts[2], rng, (1.2, 0.05, 0.5))
+    fins[:, 2] -= 0.8
+    return [body, nose, fins], [PART_BODY, PART_TOP, PART_APPENDAGE]
+
+
+def _mug(n: int, rng: np.random.Generator):
+    """Cup wall + bottom + handle."""
+    counts = _split_counts(n, (0.55, 0.2, 0.25))
+    wall = shapes.sample_cylinder(counts[0], rng, 0.5, 1.0)
+    bottom = shapes.sample_plane(counts[1], rng, (0.9, 0.9))
+    bottom[:, 2] -= 0.5
+    handle = shapes.sample_torus(counts[2], rng, 0.3, 0.06)
+    handle = handle[:, [0, 2, 1]]  # stand the ring upright
+    handle[:, 0] += 0.62
+    return [wall, bottom, handle], [PART_BODY, PART_BASE, PART_APPENDAGE]
+
+
+_CATEGORIES: List[Callable] = [_lamp, _table, _rocket, _mug]
+NUM_CATEGORIES = len(_CATEGORIES)
+
+
+def _split_counts(n: int, weights: Tuple[float, ...]) -> List[int]:
+    """Split ``n`` into integer part sizes proportional to ``weights``."""
+    weights = np.asarray(weights, dtype=np.float64)
+    raw = weights / weights.sum() * n
+    counts = np.floor(raw).astype(int)
+    counts[0] += n - counts.sum()
+    return counts.tolist()
+
+
+class ShapeNetPartLike(SyntheticDataset):
+    """Part segmentation, 2048 points/cloud by default (Table 1 W4)."""
+
+    num_part_classes = NUM_PARTS
+
+    def __init__(
+        self,
+        num_clouds: int = 32,
+        points_per_cloud: int = 2048,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_clouds, points_per_cloud, seed)
+
+    def _generate(self, index: int, rng: np.random.Generator) -> PointCloud:
+        category = _CATEGORIES[index % NUM_CATEGORIES]
+        parts, labels = category(self.points_per_cloud, rng)
+        xyz = np.concatenate(parts)
+        point_labels = np.concatenate(
+            [
+                np.full(len(part), label, dtype=np.int64)
+                for part, label in zip(parts, labels)
+            ]
+        )
+        # Random upright rotation + scale, as in standard training.
+        angle = rng.uniform(0, 2 * np.pi)
+        c, s = np.cos(angle), np.sin(angle)
+        rot = np.array([[c, -s, 0], [s, c, 0], [0, 0, 1.0]])
+        xyz = xyz @ rot.T * rng.uniform(0.9, 1.1)
+        order = rng.permutation(len(xyz))
+        cloud = PointCloud(xyz[order], labels=point_labels[order])
+        return normalize_unit_sphere(cloud)
+
+    def category_of(self, index: int) -> int:
+        """Object category of cloud ``index`` (not the part labels)."""
+        if not 0 <= index < self.num_clouds:
+            raise IndexError("index out of range")
+        return index % NUM_CATEGORIES

@@ -1,0 +1,8 @@
+"""Geometric substrate: point-cloud containers, bounding boxes, voxel
+grids, transforms, and parametric shape samplers."""
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.points import PointCloud
+from repro.geometry.voxel import VoxelGrid
+
+__all__ = ["BoundingBox", "PointCloud", "VoxelGrid"]

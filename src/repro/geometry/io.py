@@ -1,0 +1,176 @@
+"""Point-cloud file I/O: ASCII PLY and XYZ.
+
+Minimal, dependency-free readers/writers so the library interoperates
+with the formats real scans ship in (the Stanford models the paper's
+Fig. 5 uses are PLY).  Only the features this library consumes are
+supported: float vertex positions, optional per-point scalar label,
+ASCII encoding.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geometry.points import PointCloud
+
+
+def save_xyz(cloud: PointCloud, path: str) -> None:
+    """Write one ``x y z [label]`` line per point."""
+    with open(path, "w") as handle:
+        for i in range(len(cloud)):
+            x, y, z = cloud.xyz[i]
+            if cloud.labels is not None:
+                handle.write(f"{x} {y} {z} {int(cloud.labels[i])}\n")
+            else:
+                handle.write(f"{x} {y} {z}\n")
+
+
+def load_xyz(path: str) -> PointCloud:
+    """Read ``x y z [label]`` lines; blank lines and ``#`` comments are
+    skipped."""
+    xyz: List[List[float]] = []
+    labels: List[int] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (3, 4):
+                raise ValueError(
+                    f"{path}:{line_number}: expected 3 or 4 columns, "
+                    f"got {len(parts)}"
+                )
+            xyz.append([float(v) for v in parts[:3]])
+            if len(parts) == 4:
+                labels.append(int(float(parts[3])))
+    if not xyz:
+        raise ValueError(f"{path}: no points found")
+    if labels and len(labels) != len(xyz):
+        raise ValueError(f"{path}: inconsistent label column")
+    return PointCloud(
+        np.array(xyz),
+        labels=np.array(labels, dtype=np.int64) if labels else None,
+    )
+
+
+def save_ply(cloud: PointCloud, path: str) -> None:
+    """Write an ASCII PLY with float vertices (+ int label if present)."""
+    has_labels = cloud.labels is not None
+    with open(path, "w") as handle:
+        handle.write("ply\nformat ascii 1.0\n")
+        handle.write("comment written by the EdgePC reproduction\n")
+        handle.write(f"element vertex {len(cloud)}\n")
+        handle.write(
+            "property float x\nproperty float y\nproperty float z\n"
+        )
+        if has_labels:
+            handle.write("property int label\n")
+        handle.write("end_header\n")
+        for i in range(len(cloud)):
+            x, y, z = cloud.xyz[i]
+            if has_labels:
+                handle.write(f"{x} {y} {z} {int(cloud.labels[i])}\n")
+            else:
+                handle.write(f"{x} {y} {z}\n")
+
+
+def load_ply(path: str) -> PointCloud:
+    """Read an ASCII PLY's vertex element (x, y, z [+ label]).
+
+    Unsupported constructs (binary encodings, list properties, face
+    elements with data we'd have to skip past non-vertex elements)
+    raise ``ValueError`` rather than guessing.
+    """
+    with open(path) as handle:
+        magic = handle.readline().strip()
+        if magic != "ply":
+            raise ValueError(f"{path}: not a PLY file")
+        vertex_count: Optional[int] = None
+        properties: List[str] = []
+        in_vertex_element = False
+        fmt = None
+        for line in handle:
+            line = line.strip()
+            if line.startswith("comment"):
+                continue
+            if line.startswith("format"):
+                fmt = line.split()[1]
+                if fmt != "ascii":
+                    raise ValueError(
+                        f"{path}: only ascii PLY is supported"
+                    )
+                continue
+            if line.startswith("element"):
+                _, name, count = line.split()
+                in_vertex_element = name == "vertex"
+                if in_vertex_element:
+                    vertex_count = int(count)
+                elif vertex_count is not None and int(count) > 0:
+                    raise ValueError(
+                        f"{path}: non-vertex element {name!r} after "
+                        "vertices is not supported"
+                    )
+                continue
+            if line.startswith("property"):
+                if in_vertex_element:
+                    parts = line.split()
+                    if parts[1] == "list":
+                        raise ValueError(
+                            f"{path}: list properties not supported"
+                        )
+                    properties.append(parts[2])
+                continue
+            if line == "end_header":
+                break
+        else:
+            raise ValueError(f"{path}: missing end_header")
+        if vertex_count is None:
+            raise ValueError(f"{path}: no vertex element")
+        for axis in ("x", "y", "z"):
+            if axis not in properties:
+                raise ValueError(f"{path}: missing property {axis!r}")
+        column = {name: i for i, name in enumerate(properties)}
+        xyz = np.empty((vertex_count, 3))
+        labels = (
+            np.empty(vertex_count, dtype=np.int64)
+            if "label" in column
+            else None
+        )
+        for i in range(vertex_count):
+            line = handle.readline()
+            if not line:
+                raise ValueError(f"{path}: truncated vertex data")
+            parts = line.split()
+            if len(parts) < len(properties):
+                raise ValueError(f"{path}: short vertex row {i}")
+            xyz[i, 0] = float(parts[column["x"]])
+            xyz[i, 1] = float(parts[column["y"]])
+            xyz[i, 2] = float(parts[column["z"]])
+            if labels is not None:
+                labels[i] = int(float(parts[column["label"]]))
+    return PointCloud(xyz, labels=labels)
+
+
+def load(path: str) -> PointCloud:
+    """Dispatch on file extension (.ply / .xyz / .txt)."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".ply":
+        return load_ply(path)
+    if ext in (".xyz", ".txt"):
+        return load_xyz(path)
+    raise ValueError(f"unsupported point-cloud format {ext!r}")
+
+
+def save(cloud: PointCloud, path: str) -> None:
+    """Dispatch on file extension (.ply / .xyz / .txt)."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".ply":
+        save_ply(cloud, path)
+    elif ext in (".xyz", ".txt"):
+        save_xyz(cloud, path)
+    else:
+        raise ValueError(f"unsupported point-cloud format {ext!r}")

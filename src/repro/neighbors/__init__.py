@@ -1,0 +1,23 @@
+"""Exact neighbor-search baselines and quality metrics."""
+
+from repro.neighbors.brute import ball_query, knn, pairwise_operation_count
+from repro.neighbors.grid import UniformGridIndex
+from repro.neighbors.kdtree import KDTree
+from repro.neighbors.zorder_ann import ZOrderApproxNN
+from repro.neighbors.metrics import (
+    false_neighbor_ratio,
+    mean_neighbor_distance,
+    recall,
+)
+
+__all__ = [
+    "ball_query",
+    "knn",
+    "pairwise_operation_count",
+    "KDTree",
+    "UniformGridIndex",
+    "ZOrderApproxNN",
+    "false_neighbor_ratio",
+    "recall",
+    "mean_neighbor_distance",
+]

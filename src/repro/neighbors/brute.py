@@ -1,0 +1,113 @@
+"""Brute-force neighbor search: k-NN and ball query (the SOTA baselines).
+
+These mirror the reference CUDA kernels PointNet++/DGCNN ship with
+(paper Sec. 5.2.1): for every query the full candidate set is scanned,
+giving ``O(N)`` per query and ``O(N^2)`` for all-pairs search.  Both
+return *fixed-width* ``(Q, k)`` index matrices because the downstream
+grouping stage needs a rectangular gather.
+
+Ball query follows the PointNet++ convention: candidates inside the
+radius are taken in scan order, and if fewer than ``k`` qualify the
+first hit is repeated to pad the row (a row with no hit pads with the
+query's own nearest point, matching the reference behaviour of always
+returning *something* groupable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_CHUNK = 2048
+
+
+def _squared_distances(queries: np.ndarray, candidates: np.ndarray):
+    """Yield ``(lo, d2_block)`` chunks of the Q x N distance matrix."""
+    c_sq = np.sum(candidates**2, axis=1)[None, :]
+    for lo in range(0, queries.shape[0], _CHUNK):
+        block = queries[lo : lo + _CHUNK]
+        d2 = (
+            np.sum(block**2, axis=1)[:, None]
+            - 2.0 * block @ candidates.T
+            + c_sq
+        )
+        np.maximum(d2, 0.0, out=d2)
+        yield lo, d2
+
+
+def _validate(queries: np.ndarray, candidates: np.ndarray, k: int):
+    queries = np.asarray(queries, dtype=np.float64)
+    candidates = np.asarray(candidates, dtype=np.float64)
+    if queries.ndim != 2 or candidates.ndim != 2:
+        raise ValueError("queries and candidates must be 2-D arrays")
+    if queries.shape[1] != candidates.shape[1]:
+        raise ValueError("dimensionality mismatch")
+    if not 1 <= k <= candidates.shape[0]:
+        raise ValueError(
+            f"k must be in [1, {candidates.shape[0]}], got {k}"
+        )
+    return queries, candidates
+
+
+def knn(
+    queries: np.ndarray, candidates: np.ndarray, k: int
+) -> np.ndarray:
+    """Exact k-nearest neighbors.
+
+    Works in any dimensionality — DGCNN's later EdgeConv modules run kNN
+    in feature space (paper Sec. 5.2.3), not just on xyz.
+
+    Returns ``(Q, k)`` candidate indices sorted by ascending distance.
+    """
+    queries, candidates = _validate(queries, candidates, k)
+    out = np.empty((queries.shape[0], k), dtype=np.int64)
+    for lo, d2 in _squared_distances(queries, candidates):
+        if k < d2.shape[1]:
+            part = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        else:
+            part = np.broadcast_to(
+                np.arange(d2.shape[1]), (d2.shape[0], d2.shape[1])
+            ).copy()
+        row = np.arange(d2.shape[0])[:, None]
+        order = np.argsort(d2[row, part], axis=1, kind="stable")
+        out[lo : lo + d2.shape[0]] = part[row, order]
+    return out
+
+
+def ball_query(
+    queries: np.ndarray,
+    candidates: np.ndarray,
+    radius: float,
+    k: int,
+) -> np.ndarray:
+    """Fixed-width ball query (PointNet++ SA-module convention).
+
+    For each query, up to ``k`` candidate indices with distance
+    ``<= radius`` are returned in candidate-scan order; short rows are
+    padded by repeating the first in-radius hit (or the nearest
+    candidate if the ball is empty).
+    """
+    queries, candidates = _validate(queries, candidates, k)
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    r2 = radius * radius
+    out = np.empty((queries.shape[0], k), dtype=np.int64)
+    for lo, d2 in _squared_distances(queries, candidates):
+        inside = d2 <= r2
+        for i in range(d2.shape[0]):
+            hits = np.flatnonzero(inside[i])
+            if hits.size == 0:
+                out[lo + i] = int(np.argmin(d2[i]))
+            elif hits.size >= k:
+                out[lo + i] = hits[:k]
+            else:
+                row = np.full(k, hits[0], dtype=np.int64)
+                row[: hits.size] = hits
+                out[lo + i] = row
+    return out
+
+
+def pairwise_operation_count(num_queries: int, num_candidates: int) -> int:
+    """Distance evaluations brute-force search performs (cost model)."""
+    if num_queries < 0 or num_candidates < 0:
+        raise ValueError("counts must be non-negative")
+    return num_queries * num_candidates

@@ -1,0 +1,74 @@
+"""Neighbor-search quality metrics, chiefly the false neighbor ratio.
+
+The false neighbor ratio (FNR, paper Fig. 6) is the fraction of
+neighbors returned by an approximate searcher that the exact (SOTA)
+searcher would not return.  The paper reports FNR as low as 23% at
+``W = k`` and about 5% with enlarged windows (Fig. 15a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def false_neighbor_ratio(
+    approx_neighbors: np.ndarray, exact_neighbors: np.ndarray
+) -> float:
+    """Fraction of approximate neighbors absent from the exact set.
+
+    Both arguments are ``(Q, k)`` index matrices.  Rows are compared as
+    sets (the order in which neighbors are listed does not matter to the
+    downstream max-pooled feature aggregation), and duplicate padding in
+    either row is counted once.
+    """
+    approx_neighbors = np.asarray(approx_neighbors)
+    exact_neighbors = np.asarray(exact_neighbors)
+    if approx_neighbors.shape != exact_neighbors.shape:
+        raise ValueError(
+            "approximate and exact neighbor matrices must have equal shape"
+        )
+    if approx_neighbors.ndim != 2:
+        raise ValueError("neighbor matrices must be (Q, k)")
+    false_count = 0
+    total = 0
+    for approx_row, exact_row in zip(approx_neighbors, exact_neighbors):
+        approx_set = set(approx_row.tolist())
+        exact_set = set(exact_row.tolist())
+        total += len(approx_set)
+        false_count += len(approx_set - exact_set)
+    if total == 0:
+        return 0.0
+    return false_count / total
+
+
+def recall(
+    approx_neighbors: np.ndarray, exact_neighbors: np.ndarray
+) -> float:
+    """Fraction of exact neighbors that the approximation recovered."""
+    approx_neighbors = np.asarray(approx_neighbors)
+    exact_neighbors = np.asarray(exact_neighbors)
+    if approx_neighbors.shape[0] != exact_neighbors.shape[0]:
+        raise ValueError("row counts must match")
+    hit = 0
+    total = 0
+    for approx_row, exact_row in zip(approx_neighbors, exact_neighbors):
+        approx_set = set(approx_row.tolist())
+        exact_set = set(exact_row.tolist())
+        total += len(exact_set)
+        hit += len(exact_set & approx_set)
+    if total == 0:
+        return 1.0
+    return hit / total
+
+
+def mean_neighbor_distance(
+    points: np.ndarray, queries: np.ndarray, neighbors: np.ndarray
+) -> float:
+    """Average geometric distance from each query to its listed
+    neighbors — a set-free quality signal (smaller is tighter)."""
+    points = np.asarray(points, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    neighbors = np.asarray(neighbors)
+    gathered = points[neighbors]  # (Q, k, 3)
+    d = np.linalg.norm(gathered - queries[:, None, :], axis=2)
+    return float(d.mean())

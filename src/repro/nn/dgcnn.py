@@ -1,0 +1,310 @@
+"""DGCNN (Wang et al.) over the NumPy substrate.
+
+Architecture per the paper's Fig. 2b: a chain of EdgeConv (EC) modules.
+Each EC finds k nearest neighbors — the *first* module in coordinate
+space, later modules in *feature* space — builds edge features
+``[x_i, x_j - x_i]``, applies a shared MLP, and max-pools over
+neighbors.  The point count never changes, so DGCNN has no sampling
+stage (paper Sec. 3.1).
+
+EdgePC integration (Sec. 5.2.3):
+
+- EC module 0 queries in 3-D coordinate space, so its kNN can be
+  replaced by the Morton index-window search.
+- Later modules measure distance between high-dimensional features,
+  which Morton codes cannot index; EdgePC instead interleaves *reuse*
+  of the previous module's neighbor indices with exact recomputation,
+  governed by :class:`~repro.core.reuse.NeighborReusePolicy`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.neighbor import MortonNeighborSearch
+from repro.core.pipeline import EdgePCConfig
+from repro.core.reuse import NeighborCache
+from repro.neighbors.brute import knn
+from repro.nn.autograd import Tensor, concatenate
+from repro.nn.functional import edge_features, max_pool_neighbors
+from repro.nn.layers import Dropout, Linear, Module, shared_mlp
+from repro.nn.recorder import (
+    STAGE_FEATURE,
+    STAGE_GROUPING,
+    STAGE_NEIGHBOR,
+    NullRecorder,
+    StageRecorder,
+)
+
+
+class EdgeConv(Module):
+    """One EdgeConv module: kNN graph -> edge features -> MLP -> max."""
+
+    def __init__(
+        self,
+        layer_index: int,
+        in_channels: int,
+        out_channels: Tuple[int, ...],
+        k: int,
+        edgepc: EdgePCConfig,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.layer_index = layer_index
+        self.k = k
+        self.edgepc = edgepc
+        channels = (2 * in_channels,) + tuple(out_channels)
+        self.mlp_channels = channels
+        self.mlp = shared_mlp(channels, rng=rng, activation="leaky_relu")
+        self.out_channels = channels[-1]
+
+    def _graph(
+        self,
+        xyz: np.ndarray,
+        features: Tensor,
+        cache: NeighborCache,
+        recorder: StageRecorder,
+    ) -> np.ndarray:
+        """Compute or reuse the ``(B, N, k)`` neighbor graph."""
+        batch, n_points = features.shape[0], features.shape[1]
+        policy = self.edgepc.reuse_policy()
+        if self.layer_index > 0 and policy.should_reuse(self.layer_index):
+            if not cache.is_empty:
+                recorder.record(
+                    STAGE_NEIGHBOR, "reuse", self.layer_index,
+                    n_queries=n_points, k=self.k, batch=batch,
+                )
+                return cache.load()
+        if (
+            self.layer_index == 0
+            and self.edgepc.uses_morton_neighbors(0)
+        ):
+            window = min(n_points, self.edgepc.window_for(self.k))
+            searcher = MortonNeighborSearch(
+                self.k, window, self.edgepc.code_bits
+            )
+            out = np.stack(
+                [searcher.search(xyz[b]) for b in range(batch)]
+            )
+            recorder.record(
+                STAGE_NEIGHBOR, "morton_gen", 0,
+                n_points=n_points, batch=batch,
+            )
+            recorder.record(
+                STAGE_NEIGHBOR, "morton_sort", 0,
+                n_points=n_points, batch=batch,
+            )
+            recorder.record(
+                STAGE_NEIGHBOR, "morton_window", 0,
+                n_queries=n_points, window=window, k=self.k, batch=batch,
+            )
+        else:
+            space = (
+                xyz
+                if self.layer_index == 0
+                else features.data
+            )
+            dim = space.shape[2]
+            out = np.stack(
+                [knn(space[b], space[b], self.k) for b in range(batch)]
+            )
+            recorder.record(
+                STAGE_NEIGHBOR, "knn", self.layer_index,
+                n_queries=n_points, n_candidates=n_points,
+                k=self.k, dim=dim, batch=batch,
+            )
+        cache.store(out)
+        return out
+
+    def forward(
+        self,
+        xyz: np.ndarray,
+        features: Tensor,
+        cache: NeighborCache,
+        recorder: Optional[StageRecorder] = None,
+    ) -> Tensor:
+        recorder = NullRecorder() if recorder is None else recorder
+        neighbor_idx = self._graph(xyz, features, cache, recorder)
+        if self.edgepc.sorted_grouping:
+            # Sec. 5.4.2: order within a neighborhood is irrelevant to
+            # the max-pooled edge aggregation.
+            neighbor_idx = np.sort(neighbor_idx, axis=-1)
+        batch, n_points, k = neighbor_idx.shape
+        edges = edge_features(features, neighbor_idx)
+        recorder.record(
+            STAGE_GROUPING, "gather", self.layer_index,
+            n_groups=n_points, k=k,
+            channels=2 * features.shape[2], batch=batch,
+            sorted=float(self.edgepc.sorted_grouping),
+        )
+        out = self.mlp(edges)
+        for c_in, c_out in zip(
+            self.mlp_channels[:-1], self.mlp_channels[1:]
+        ):
+            recorder.record(
+                STAGE_FEATURE, "matmul", self.layer_index,
+                rows=batch * n_points * k,
+                c_in=c_in, c_out=c_out,
+                flops=2.0 * batch * n_points * k * c_in * c_out,
+            )
+        return max_pool_neighbors(out)
+
+
+class _DGCNNBackbone(Module):
+    """The shared EC chain + per-point concat used by every variant."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        ec_channels: Sequence[Tuple[int, ...]],
+        k: int,
+        edgepc: EdgePCConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.ec_modules: List[EdgeConv] = []
+        channels = in_channels
+        for i, out_channels in enumerate(ec_channels):
+            module = EdgeConv(i, channels, out_channels, k, edgepc, rng)
+            setattr(self, f"ec{i}", module)
+            self.ec_modules.append(module)
+            channels = module.out_channels
+        self.concat_channels = sum(m.out_channels for m in self.ec_modules)
+
+    def forward(
+        self,
+        xyz: np.ndarray,
+        features: Tensor,
+        recorder: Optional[StageRecorder] = None,
+    ) -> Tensor:
+        cache = NeighborCache()
+        outputs: List[Tensor] = []
+        current = features
+        for module in self.ec_modules:
+            current = module(xyz, current, cache, recorder)
+            outputs.append(current)
+        return concatenate(outputs, axis=2)  # (B, N, sum C)
+
+
+class DGCNNClassifier(Module):
+    """DGCNN(c): EC chain -> global max pool -> MLP head."""
+
+    def __init__(
+        self,
+        num_classes: int,
+        k: int = 16,
+        ec_channels: Sequence[Tuple[int, ...]] = ((32,), (32,), (64,)),
+        emb_channels: int = 128,
+        head_hidden: int = 64,
+        dropout: float = 0.4,
+        edgepc: Optional[EdgePCConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.edgepc = edgepc or EdgePCConfig.baseline()
+        self.num_classes = num_classes
+        self.backbone = _DGCNNBackbone(
+            3, ec_channels, k, self.edgepc, rng
+        )
+        self.embedding = Linear(
+            self.backbone.concat_channels, emb_channels, rng=rng
+        )
+        self.head_hidden = Linear(emb_channels, head_hidden, rng=rng)
+        self.head_dropout = Dropout(dropout, rng=rng)
+        self.head_out = Linear(head_hidden, num_classes, rng=rng)
+
+    def forward(
+        self,
+        xyz: np.ndarray,
+        recorder: Optional[StageRecorder] = None,
+    ) -> Tensor:
+        """Per-cloud logits ``(B, num_classes)``."""
+        xyz = np.asarray(xyz, dtype=np.float64)
+        if xyz.ndim != 3 or xyz.shape[2] != 3:
+            raise ValueError(f"xyz must be (B, N, 3), got {xyz.shape}")
+        recorder = NullRecorder() if recorder is None else recorder
+        features = Tensor(xyz)
+        per_point = self.backbone(xyz, features, recorder)
+        embedded = self.embedding(per_point).leaky_relu(0.2)
+        recorder.record(
+            STAGE_FEATURE, "matmul", len(self.backbone.ec_modules),
+            rows=xyz.shape[0] * xyz.shape[1],
+            c_in=self.embedding.in_features,
+            c_out=self.embedding.out_features,
+            flops=2.0 * xyz.shape[0] * xyz.shape[1]
+            * self.embedding.in_features * self.embedding.out_features,
+        )
+        pooled = embedded.max(axis=1)
+        hidden = self.head_hidden(pooled).leaky_relu(0.2)
+        hidden = self.head_dropout(hidden)
+        return self.head_out(hidden)
+
+
+class DGCNNSegmentation(Module):
+    """DGCNN(s) / DGCNN(p): EC chain -> global context -> per-point head.
+
+    The part-segmentation and semantic-segmentation variants share this
+    structure; they differ only in dataset and class count.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        k: int = 16,
+        ec_channels: Sequence[Tuple[int, ...]] = ((32,), (32,), (64,)),
+        emb_channels: int = 128,
+        head_hidden: int = 64,
+        dropout: float = 0.4,
+        edgepc: Optional[EdgePCConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.edgepc = edgepc or EdgePCConfig.baseline()
+        self.num_classes = num_classes
+        self.backbone = _DGCNNBackbone(
+            3, ec_channels, k, self.edgepc, rng
+        )
+        self.embedding = Linear(
+            self.backbone.concat_channels, emb_channels, rng=rng
+        )
+        head_in = self.backbone.concat_channels + emb_channels
+        self.head_hidden = Linear(head_in, head_hidden, rng=rng)
+        self.head_dropout = Dropout(dropout, rng=rng)
+        self.head_out = Linear(head_hidden, num_classes, rng=rng)
+
+    def forward(
+        self,
+        xyz: np.ndarray,
+        recorder: Optional[StageRecorder] = None,
+    ) -> Tensor:
+        """Per-point logits ``(B, N, num_classes)``."""
+        xyz = np.asarray(xyz, dtype=np.float64)
+        if xyz.ndim != 3 or xyz.shape[2] != 3:
+            raise ValueError(f"xyz must be (B, N, 3), got {xyz.shape}")
+        recorder = NullRecorder() if recorder is None else recorder
+        n_points = xyz.shape[1]
+        features = Tensor(xyz)
+        per_point = self.backbone(xyz, features, recorder)
+        embedded = self.embedding(per_point).leaky_relu(0.2)
+        recorder.record(
+            STAGE_FEATURE, "matmul", len(self.backbone.ec_modules),
+            rows=xyz.shape[0] * n_points,
+            c_in=self.embedding.in_features,
+            c_out=self.embedding.out_features,
+            flops=2.0 * xyz.shape[0] * n_points
+            * self.embedding.in_features * self.embedding.out_features,
+        )
+        global_context = embedded.max(axis=1, keepdims=True)
+        tiled = global_context.broadcast_to(
+            (xyz.shape[0], n_points, global_context.shape[2])
+        )
+        merged = concatenate([per_point, tiled], axis=2)
+        hidden = self.head_hidden(merged).leaky_relu(0.2)
+        hidden = self.head_dropout(hidden)
+        return self.head_out(hidden)

@@ -1,0 +1,92 @@
+"""Point-cloud-specific tensor ops: batched gathers and grouping.
+
+The *grouping* stage (paper Sec. 5.4.2) turns a ``(B, N, C)`` feature
+map and a ``(B, n, k)`` neighbor-index matrix into the ``(B, n, k, C)``
+matrix the shared MLPs convolve.  Index *computation* (sampling,
+neighbor search) happens outside autograd in plain NumPy; these ops
+carry gradients through the gathers themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, concatenate
+
+
+def _check_batched(features: Tensor, indices: np.ndarray) -> np.ndarray:
+    indices = np.asarray(indices)
+    if features.ndim != 3:
+        raise ValueError(f"features must be (B, N, C), got {features.shape}")
+    if indices.shape[0] != features.shape[0]:
+        raise ValueError("batch sizes differ between features and indices")
+    if indices.min() < 0 or indices.max() >= features.shape[1]:
+        raise ValueError("index out of range")
+    return indices
+
+
+def gather_points(features: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather ``(B, n, C)`` rows out of ``(B, N, C)`` by ``(B, n)``."""
+    indices = _check_batched(features, indices)
+    if indices.ndim != 2:
+        raise ValueError(f"indices must be (B, n), got {indices.shape}")
+    batch = np.arange(indices.shape[0])[:, None]
+    return features[(batch, indices)]
+
+
+def group_points(features: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather ``(B, n, k, C)`` neighborhoods out of ``(B, N, C)`` by
+    ``(B, n, k)`` — the grouping stage."""
+    indices = _check_batched(features, indices)
+    if indices.ndim != 3:
+        raise ValueError(f"indices must be (B, n, k), got {indices.shape}")
+    batch = np.arange(indices.shape[0])[:, None, None]
+    return features[(batch, indices)]
+
+
+def relative_neighborhoods(
+    xyz: np.ndarray, center_indices: np.ndarray, neighbor_indices: np.ndarray
+) -> np.ndarray:
+    """Neighbor coordinates relative to their center: ``(B, n, k, 3)``.
+
+    This is the geometric input channel every SA module prepends to the
+    grouped features (PointNet++ convention).  Pure data — no gradient
+    flows into coordinates.
+    """
+    xyz = np.asarray(xyz, dtype=np.float64)
+    center_indices = np.asarray(center_indices)
+    neighbor_indices = np.asarray(neighbor_indices)
+    if xyz.ndim != 3 or xyz.shape[2] != 3:
+        raise ValueError(f"xyz must be (B, N, 3), got {xyz.shape}")
+    batch = np.arange(xyz.shape[0])[:, None, None]
+    neighbors = xyz[batch, neighbor_indices]  # (B, n, k, 3)
+    centers = xyz[np.arange(xyz.shape[0])[:, None], center_indices]
+    return neighbors - centers[:, :, None, :]
+
+
+def max_pool_neighbors(grouped: Tensor) -> Tensor:
+    """Max over the neighbor axis: ``(B, n, k, C) -> (B, n, C)``.
+
+    The symmetric aggregation at the heart of PointNet-family models.
+    """
+    if grouped.ndim != 4:
+        raise ValueError(f"expected (B, n, k, C), got {grouped.shape}")
+    return grouped.max(axis=2)
+
+
+def edge_features(
+    features: Tensor, neighbor_indices: np.ndarray
+) -> Tensor:
+    """DGCNN edge features: ``[x_i, x_j - x_i]`` per edge.
+
+    Input ``(B, N, C)`` and indices ``(B, N, k)``; output
+    ``(B, N, k, 2C)``.
+    """
+    if features.ndim != 3:
+        raise ValueError(f"features must be (B, N, C), got {features.shape}")
+    grouped = group_points(features, neighbor_indices)  # (B, N, k, C)
+    k = neighbor_indices.shape[2]
+    center = features.expand_dims(2).broadcast_to(
+        (features.shape[0], features.shape[1], k, features.shape[2])
+    )
+    return concatenate([center, grouped - center], axis=3)

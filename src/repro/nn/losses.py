@@ -1,0 +1,59 @@
+"""Loss functions for the classification / segmentation heads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - Tensor(
+        logits.data.max(axis=axis, keepdims=True)
+    )
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(logits, axis).exp()
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, label_smoothing: float = 0.0
+) -> Tensor:
+    """Mean cross entropy between ``(..., C)`` logits and integer targets.
+
+    Leading axes are flattened, so the same call handles ``(B, C)``
+    classification logits and ``(B, N, C)`` per-point segmentation
+    logits with ``(B, N)`` labels.
+    """
+    targets = np.asarray(targets)
+    if targets.shape != logits.shape[:-1]:
+        raise ValueError(
+            f"target shape {targets.shape} does not match logit "
+            f"batch shape {logits.shape[:-1]}"
+        )
+    if not 0 <= label_smoothing < 1:
+        raise ValueError("label_smoothing must be in [0, 1)")
+    num_classes = logits.shape[-1]
+    if targets.min() < 0 or targets.max() >= num_classes:
+        raise ValueError("target label out of range")
+    log_probs = log_softmax(logits, axis=-1)
+    flat = log_probs.reshape(-1, num_classes)
+    rows = np.arange(flat.shape[0])
+    picked = flat[(rows, targets.reshape(-1))]
+    nll = -picked.mean()
+    if label_smoothing == 0.0:
+        return nll
+    smooth = -flat.mean()
+    return (1.0 - label_smoothing) * nll + label_smoothing * smooth
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Fraction of correct argmax predictions (any leading shape)."""
+    targets = np.asarray(targets)
+    predictions = logits.data.argmax(axis=-1)
+    if predictions.shape != targets.shape:
+        raise ValueError("prediction/target shape mismatch")
+    return float((predictions == targets).mean())

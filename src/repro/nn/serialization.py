@@ -1,0 +1,91 @@
+"""Model checkpointing: save/load state dicts to disk.
+
+Checkpoints are a single ``.npz`` holding the parameter arrays plus a
+``__meta__`` JSON blob (library version, parameter names) so loading
+can fail loudly on mismatches instead of silently mis-assigning
+weights.  BatchNorm running statistics are included — they are state,
+not parameters, and eval-mode accuracy depends on them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm, Module
+
+_META_KEY = "__meta__"
+_RUNNING_PREFIX = "__running__."
+
+
+def _running_stats(model: Module) -> Dict[str, np.ndarray]:
+    stats: Dict[str, np.ndarray] = {}
+    for index, module in enumerate(model.modules()):
+        if isinstance(module, BatchNorm):
+            stats[f"{_RUNNING_PREFIX}{index}.mean"] = (
+                module.running_mean
+            )
+            stats[f"{_RUNNING_PREFIX}{index}.var"] = module.running_var
+    return stats
+
+
+def _load_running_stats(
+    model: Module, arrays: Dict[str, np.ndarray]
+) -> None:
+    for index, module in enumerate(model.modules()):
+        if isinstance(module, BatchNorm):
+            mean_key = f"{_RUNNING_PREFIX}{index}.mean"
+            var_key = f"{_RUNNING_PREFIX}{index}.var"
+            if mean_key in arrays:
+                module.running_mean = np.asarray(
+                    arrays[mean_key], dtype=np.float64
+                )
+                module.running_var = np.asarray(
+                    arrays[var_key], dtype=np.float64
+                )
+
+
+def save_checkpoint(model: Module, path: str) -> None:
+    """Write the model's parameters and BatchNorm stats to ``path``."""
+    from repro import __version__
+
+    state = model.state_dict()
+    meta = {
+        "library_version": __version__,
+        "parameter_names": sorted(state),
+        "num_parameters": int(model.num_parameters()),
+    }
+    arrays = dict(state)
+    arrays.update(_running_stats(model))
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(model: Module, path: str) -> Dict[str, object]:
+    """Load a checkpoint into ``model``; returns the metadata.
+
+    Raises ``KeyError``/``ValueError`` on any name or shape mismatch
+    (delegated to :meth:`Module.load_state_dict`).
+    """
+    with np.load(path) as data:
+        arrays = {key: data[key] for key in data.files}
+    if _META_KEY not in arrays:
+        raise ValueError(f"{path}: not a repro checkpoint (no meta)")
+    meta = json.loads(bytes(arrays.pop(_META_KEY)).decode())
+    running = {
+        key: value
+        for key, value in arrays.items()
+        if key.startswith(_RUNNING_PREFIX)
+    }
+    state = {
+        key: value
+        for key, value in arrays.items()
+        if not key.startswith(_RUNNING_PREFIX)
+    }
+    model.load_state_dict(state)
+    _load_running_stats(model, running)
+    return meta

@@ -1,0 +1,127 @@
+"""High-level orchestration: model + config + simulated device.
+
+:class:`EdgePCPipeline` is the convenience entry point a downstream
+application would use: wrap any of the library's models and get
+inference, per-batch device profiling, and baseline comparison in one
+object, without touching recorders or the cost model directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import EdgePCConfig
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.layers import Module
+from repro.nn.recorder import StageRecorder
+from repro.runtime.device import DeviceSpec
+from repro.runtime.profiler import (
+    ComparisonReport,
+    EnergyReport,
+    PipelineProfiler,
+    StageBreakdown,
+    compare,
+)
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Predictions plus the simulated device profile of the pass."""
+
+    logits: np.ndarray
+    predictions: np.ndarray
+    breakdown: StageBreakdown
+    energy: EnergyReport
+
+    @property
+    def latency_ms(self) -> float:
+        return self.breakdown.total_s * 1e3
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy.total_j
+
+
+class EdgePCPipeline:
+    """Wraps a model and profiles every inference on the edge device.
+
+    Args:
+        model: any library model whose ``forward(xyz, recorder=...)``
+            returns logits (class axis last) — both PointNet++ and
+            DGCNN variants qualify.
+        config: the model's :class:`EdgePCConfig`; defaults to the
+            model's own ``edgepc`` attribute.
+        device: simulated device; defaults to the Xavier-like spec.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        config: Optional[EdgePCConfig] = None,
+        device: Optional[DeviceSpec] = None,
+    ) -> None:
+        config = config if config is not None else getattr(
+            model, "edgepc", None
+        )
+        if config is None:
+            raise ValueError(
+                "pass a config or use a model with an .edgepc attribute"
+            )
+        self.model = model
+        self.config = config
+        self.profiler = PipelineProfiler(device)
+
+    def infer(self, xyz: np.ndarray) -> InferenceResult:
+        """Run one batch in eval mode and profile it."""
+        xyz = np.asarray(xyz, dtype=np.float64)
+        recorder = StageRecorder()
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                logits = self.model(xyz, recorder=recorder)
+        finally:
+            if was_training:
+                self.model.train()
+        data = (
+            logits.numpy() if isinstance(logits, Tensor) else logits
+        )
+        return InferenceResult(
+            logits=data,
+            predictions=data.argmax(axis=-1),
+            breakdown=self.profiler.breakdown(recorder, self.config),
+            energy=self.profiler.energy(recorder, self.config),
+        )
+
+    def record(self, xyz: np.ndarray) -> StageRecorder:
+        """Run one batch and return the raw stage trace."""
+        recorder = StageRecorder()
+        self.model.eval()
+        with no_grad():
+            self.model(xyz, recorder=recorder)
+        self.model.train()
+        return recorder
+
+    def compare_with(
+        self, baseline: "EdgePCPipeline", xyz: np.ndarray
+    ) -> ComparisonReport:
+        """Fig. 13-style comparison of this pipeline vs a baseline on
+        the same input batch."""
+        return compare(
+            self.profiler,
+            baseline.record(xyz), baseline.config,
+            self.record(xyz), self.config,
+        )
+
+    def throughput_estimate(
+        self, xyz: np.ndarray
+    ) -> Tuple[float, float]:
+        """(batches/second, clouds/second) on the simulated device."""
+        result = self.infer(xyz)
+        if result.breakdown.total_s == 0:
+            raise ValueError("empty trace; model recorded no work")
+        batches_per_s = 1.0 / result.breakdown.total_s
+        return batches_per_s, batches_per_s * xyz.shape[0]

@@ -1,0 +1,24 @@
+"""Edge-device simulation: device spec, cost model, profiler."""
+
+from repro.runtime.cost import APPROX_OPS, EXACT_OPS, CostModel
+from repro.runtime.device import DeviceSpec, xavier
+from repro.runtime.profiler import (
+    ComparisonReport,
+    EnergyReport,
+    PipelineProfiler,
+    StageBreakdown,
+    compare,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "xavier",
+    "CostModel",
+    "EXACT_OPS",
+    "APPROX_OPS",
+    "PipelineProfiler",
+    "StageBreakdown",
+    "EnergyReport",
+    "ComparisonReport",
+    "compare",
+]

@@ -1,0 +1,35 @@
+"""Baseline (exact) samplers and sampling-quality metrics."""
+
+from repro.sampling.fps import (
+    coverage_radius,
+    farthest_point_sample,
+    fps_operation_count,
+)
+from repro.sampling.quality import (
+    chamfer_distance,
+    density_uniformity,
+    mean_coverage_distance,
+)
+from repro.sampling.voxelgrid import (
+    cell_size_for_target_count,
+    voxel_grid_sample,
+)
+from repro.sampling.uniform import (
+    random_sample,
+    uniform_sample,
+    uniform_stride_indices,
+)
+
+__all__ = [
+    "farthest_point_sample",
+    "fps_operation_count",
+    "coverage_radius",
+    "uniform_sample",
+    "uniform_stride_indices",
+    "random_sample",
+    "voxel_grid_sample",
+    "cell_size_for_target_count",
+    "chamfer_distance",
+    "density_uniformity",
+    "mean_coverage_distance",
+]

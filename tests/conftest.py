@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import shapes
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_cloud(rng):
+    """A 256-point irregular cloud (biased sphere)."""
+    return shapes.sample_sphere(256, rng, density_bias=1.0)
+
+
+@pytest.fixture
+def medium_cloud(rng):
+    """A 1024-point irregular cloud for neighbor-search tests."""
+    return shapes.sample_torus(1024, rng, density_bias=0.8)
+
+
+@pytest.fixture
+def uniform_cloud(rng):
+    """A uniform random cloud in the unit cube."""
+    return rng.random((512, 3))

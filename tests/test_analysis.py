@@ -1,0 +1,211 @@
+"""Tests for the analysis package: grouping-traffic cache simulation,
+tensor-core merge study, and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SetAssociativeCache,
+    compare_sorted_gather,
+    duplicate_read_fraction,
+    format_breakdown_row,
+    format_comparison_row,
+    format_layer_latencies,
+    geometric_mean,
+    merge_analysis,
+    merge_split_error,
+    merge_split_features,
+    simulate_gather,
+)
+from repro.runtime import xavier
+
+
+class TestCache:
+    def test_hit_after_miss(self):
+        cache = SetAssociativeCache(4, 2, line_bytes=64)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(32)  # same line
+
+    def test_lru_eviction(self):
+        cache = SetAssociativeCache(1, 2, line_bytes=64)
+        cache.access(0)      # line 0
+        cache.access(64)     # line 1
+        cache.access(128)    # line 2 evicts line 0
+        assert not cache.access(0)
+
+    def test_lru_order_refreshes_on_hit(self):
+        cache = SetAssociativeCache(1, 2, line_bytes=64)
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)      # refresh line 0
+        cache.access(128)    # evicts line 1 (LRU), not line 0
+        assert cache.access(0)
+
+    def test_set_mapping(self):
+        cache = SetAssociativeCache(2, 1, line_bytes=64)
+        cache.access(0)    # set 0
+        cache.access(64)   # set 1
+        assert cache.access(0)
+        assert cache.access(64)
+
+    def test_capacity(self):
+        cache = SetAssociativeCache(256, 8, line_bytes=128)
+        assert cache.capacity_bytes == 256 * 8 * 128
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 2)
+
+
+class TestGatherTraffic:
+    def test_sorted_gather_reduces_traffic(self, rng):
+        """The Sec. 5.4.2 result: row-sorting the index matrix cuts
+        both L2 and DRAM read traffic.  The index matrix mimics a
+        ball-query result on a raw (unordered) cloud: each row's
+        neighbor indices scatter uniformly over the point range."""
+        index = rng.integers(0, 2048, size=(2048, 64))
+        result = compare_sorted_gather(index)
+        assert result.l2_reduction > 0.2
+        assert result.dram_reduction > 0.2
+
+    def test_sequential_gather_mostly_coalesces(self):
+        index = np.arange(128).reshape(64, 2)
+        traffic = simulate_gather(index, feature_bytes_per_row=32)
+        # Four 32-B rows share a 128-B line: most accesses coalesce or
+        # hit L1, so far fewer than one L2 read per gathered entry.
+        assert traffic.l2_reads < index.size / 2
+
+    def test_duplicate_read_fraction(self):
+        index = np.array([[0, 0, 1], [1, 2, 2]])
+        assert duplicate_read_fraction(index) == pytest.approx(0.5)
+
+    def test_duplicate_fraction_of_grouping(self, rng):
+        """nk > N (the paper's nk = 8N for PointNet++) forces heavy
+        duplication."""
+        index = rng.integers(0, 1024, size=(1024, 8))
+        assert duplicate_read_fraction(index) > 0.8
+
+    def test_rejects_flat_index(self, rng):
+        with pytest.raises(ValueError):
+            simulate_gather(np.arange(5))
+
+
+class TestTensorCoreMerge:
+    def test_merge_latency_improves(self):
+        """The Sec. 5.4.1 experiment: merging channels raises tensor
+        core utilization and cuts latency at equal FLOPs."""
+        points = merge_analysis(
+            xavier(), rows=32 * 1000 * 32, in_channels=12,
+            out_channels=64, merge_factors=(1, 10),
+        )
+        by_factor = {p.merge_factor: p for p in points}
+        assert by_factor[1].utilization == 0.0
+        assert by_factor[10].utilization == pytest.approx(0.4, abs=0.05)
+        ratio = by_factor[1].latency_s / by_factor[10].latency_s
+        assert 1.8 < ratio < 2.8  # paper: 40.4 ms -> 18.3 ms (2.2x)
+
+    def test_flops_invariant(self):
+        points = merge_analysis(
+            xavier(), rows=1000, in_channels=16, out_channels=8,
+            merge_factors=(1, 2, 4),
+        )
+        assert all(
+            p.effective_channels == 16 * p.merge_factor for p in points
+        )
+
+    def test_rejects_non_dividing_factors(self):
+        with pytest.raises(ValueError):
+            merge_analysis(
+                xavier(), rows=7, in_channels=4, out_channels=4,
+                merge_factors=(2,),
+            )
+
+    def test_merge_split_identity_at_t1(self, rng):
+        feats = rng.normal(size=(16, 4))
+        weight = rng.normal(size=(4, 6))
+        out = merge_split_features(feats, weight, 1)
+        assert np.allclose(out, feats @ weight)
+
+    def test_merge_split_averages_groups(self, rng):
+        feats = rng.normal(size=(8, 4))
+        weight = rng.normal(size=(4, 2))
+        out = merge_split_features(feats, weight, 4)
+        exact = feats @ weight
+        assert np.allclose(out[0], exact[:4].mean(axis=0))
+        assert np.allclose(out[0], out[3])
+
+    def test_merge_split_error_small_on_smooth_field(self):
+        """On Morton-ordered smooth features (neighbors similar), the
+        merge/split approximation error is modest — the property the
+        paper's 'not expected to degrade quality much' claim needs."""
+        t = np.linspace(0, 1, 64)
+        feats = np.stack([t, t**2, np.sin(t)], axis=1)
+        weight = np.random.default_rng(0).normal(size=(3, 4))
+        err = merge_split_error(feats, weight, 4)
+        assert err < 0.1
+
+    def test_merge_split_error_larger_on_random_field(self, rng):
+        feats = rng.normal(size=(64, 3))
+        weight = rng.normal(size=(3, 4))
+        smooth = np.sort(feats, axis=0)
+        assert merge_split_error(feats, weight, 4) > merge_split_error(
+            smooth, weight, 4
+        )
+
+    def test_rejects_bad_merge(self, rng):
+        with pytest.raises(ValueError):
+            merge_split_features(
+                rng.normal(size=(10, 2)), rng.normal(size=(2, 2)), 3
+            )
+
+
+class TestReports:
+    def test_breakdown_row_formats(self):
+        from repro.runtime.profiler import StageBreakdown
+
+        row = format_breakdown_row(
+            "W1",
+            StageBreakdown(
+                sample_s=0.1, neighbor_s=0.1, grouping_s=0.05,
+                feature_s=0.25,
+            ),
+        )
+        assert "W1" in row
+        assert "40.0%" in row  # sample+NS share of 0.5 s
+
+    def test_comparison_row_formats(self):
+        from repro.runtime.profiler import (
+            ComparisonReport,
+            EnergyReport,
+            StageBreakdown,
+        )
+
+        report = ComparisonReport(
+            baseline=StageBreakdown(0.2, 0.2, 0.1, 0.5),
+            optimized=StageBreakdown(0.1, 0.1, 0.1, 0.5),
+            baseline_energy=EnergyReport(5.0, 1.0),
+            optimized_energy=EnergyReport(4.0, 0.8),
+        )
+        row = format_comparison_row("W2", report)
+        assert "2.00x" in row
+        assert "20.0%" in row
+
+    def test_layer_latency_listing(self):
+        text = format_layer_latencies(
+            {"sample[0]": 0.01, "sample[1]": 0.002},
+            ["sample[0]", "sample[1]", "sample[2]"],
+        )
+        assert "10.000 ms" in text
+        assert "0.000 ms" in text  # missing key prints zero
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

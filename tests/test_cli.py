@@ -1,0 +1,103 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import bunny_like
+from repro.geometry import io as pc_io
+
+
+class TestWorkloadsCommand:
+    def test_prints_all_rows(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("W1", "W2", "W3", "W4", "W5", "W6"):
+            assert name in out
+
+
+class TestProfileCommand:
+    def test_single_workload(self, capsys):
+        assert main(["profile", "--workload", "W3"]) == 0
+        out = capsys.readouterr().out
+        assert "W3" in out
+        assert "sample+NS" in out
+
+    def test_all_workloads(self, capsys):
+        assert main(["profile"]) == 0
+        assert capsys.readouterr().out.count("sample+NS") == 6
+
+    def test_config_choices(self, capsys):
+        assert main(
+            ["profile", "--workload", "W1", "--config", "insights"]
+        ) == 0
+
+    def test_unknown_workload_fails(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--workload", "W9"])
+
+
+class TestCompareCommand:
+    def test_single_workload(self, capsys):
+        assert main(["compare", "--workload", "W6"]) == 0
+        out = capsys.readouterr().out
+        assert "S+N" in out and "energy saved" in out
+
+    def test_baseline_config_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--config", "baseline"])
+
+
+class TestSampleCommand:
+    @pytest.fixture
+    def bunny_file(self, tmp_path):
+        path = str(tmp_path / "bunny.ply")
+        pc_io.save(bunny_like(1000), path)
+        return path
+
+    @pytest.mark.parametrize("method", ["fps", "morton", "uniform"])
+    def test_methods(self, bunny_file, tmp_path, method, capsys):
+        out_path = str(tmp_path / f"out_{method}.xyz")
+        assert main(
+            ["sample", bunny_file, out_path, "--method", method,
+             "-n", "100"]
+        ) == 0
+        assert len(pc_io.load(out_path)) == 100
+
+    def test_too_many_samples_fails(self, bunny_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["sample", bunny_file, str(tmp_path / "o.xyz"),
+                 "-n", "99999"]
+            )
+
+
+class TestSweepCommand:
+    def test_synthetic_sweep(self, capsys):
+        assert main(
+            ["sweep", "--points", "256", "--k", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "FNR" in out
+        assert out.count("x") >= 5  # speedup column rows
+
+    def test_sweep_from_file(self, tmp_path, capsys, rng):
+        from repro.geometry.points import PointCloud
+
+        path = str(tmp_path / "c.xyz")
+        pc_io.save(PointCloud(rng.random((300, 3))), path)
+        assert main(["sweep", "--input", path, "--k", "4"]) == 0
+
+
+class TestReportCommand:
+    def test_report_prints_all_sections(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "Fig. 13" in out
+        assert "Table 2" in out
+        assert "EdgePC" in out
+        # Three config sections, each with six workloads + average.
+        assert out.count("avg") == 3

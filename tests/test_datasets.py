@@ -1,0 +1,244 @@
+"""Tests for the synthetic datasets (repro.datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Batch,
+    ModelNetLike,
+    S3DISLike,
+    ScanNetLike,
+    ShapeNetPartLike,
+    bunny_like,
+    make_batches,
+    train_test_split,
+)
+from repro.datasets.indoor import NUM_SEMANTIC_CLASSES
+from repro.datasets.modelnet import MAX_CLASSES, class_recipe
+from repro.datasets.shapenet import NUM_CATEGORIES, NUM_PARTS
+
+
+class TestModelNetLike:
+    def test_sizes(self):
+        ds = ModelNetLike(num_clouds=8, points_per_cloud=128)
+        assert len(ds) == 8
+        assert len(ds[0]) == 128
+
+    def test_labels_balanced(self):
+        ds = ModelNetLike(
+            num_clouds=12, points_per_cloud=64, num_classes=4
+        )
+        labels = [int(ds[i].labels[0]) for i in range(12)]
+        assert labels == [i % 4 for i in range(12)]
+
+    def test_label_constant_per_cloud(self):
+        ds = ModelNetLike(num_clouds=4, points_per_cloud=64)
+        cloud = ds[2]
+        assert (cloud.labels == cloud.labels[0]).all()
+
+    def test_normalized_to_unit_sphere(self):
+        ds = ModelNetLike(num_clouds=2, points_per_cloud=256)
+        norms = np.linalg.norm(ds[0].xyz, axis=1)
+        assert norms.max() == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = ModelNetLike(num_clouds=4, points_per_cloud=64, seed=7)
+        b = ModelNetLike(num_clouds=4, points_per_cloud=64, seed=7)
+        assert np.array_equal(a[3].xyz, b[3].xyz)
+
+    def test_seed_changes_clouds(self):
+        a = ModelNetLike(num_clouds=4, points_per_cloud=64, seed=1)
+        b = ModelNetLike(num_clouds=4, points_per_cloud=64, seed=2)
+        assert not np.array_equal(a[0].xyz, b[0].xyz)
+
+    def test_classes_differ_geometrically(self):
+        """Two classes of the same size must not be near-identical
+        point sets (chamfer far from zero)."""
+        from repro.sampling import chamfer_distance
+
+        ds = ModelNetLike(
+            num_clouds=8, points_per_cloud=256, num_classes=4,
+            jitter_sigma=0.0,
+        )
+        d = chamfer_distance(ds[0].xyz, ds[1].xyz)
+        assert d > 0.05
+
+    def test_max_classes_supported(self):
+        ds = ModelNetLike(
+            num_clouds=MAX_CLASSES,
+            points_per_cloud=32,
+            num_classes=MAX_CLASSES,
+        )
+        assert len(ds[MAX_CLASSES - 1]) == 32
+
+    def test_class_recipe_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            class_recipe(MAX_CLASSES)
+
+    def test_rejects_bad_class_count(self):
+        with pytest.raises(ValueError):
+            ModelNetLike(num_classes=1)
+
+    def test_index_out_of_range(self):
+        ds = ModelNetLike(num_clouds=2, points_per_cloud=32)
+        with pytest.raises(IndexError):
+            ds[2]
+
+
+class TestShapeNetPartLike:
+    def test_sizes_and_parts(self):
+        ds = ShapeNetPartLike(num_clouds=4, points_per_cloud=512)
+        cloud = ds[0]
+        assert len(cloud) == 512
+        assert cloud.labels.min() >= 0
+        assert cloud.labels.max() < NUM_PARTS
+
+    def test_every_cloud_multi_part(self):
+        ds = ShapeNetPartLike(num_clouds=4, points_per_cloud=512)
+        for i in range(4):
+            assert len(np.unique(ds[i].labels)) >= 2
+
+    def test_categories_cycle(self):
+        ds = ShapeNetPartLike(num_clouds=8, points_per_cloud=128)
+        assert ds.category_of(0) == 0
+        assert ds.category_of(NUM_CATEGORIES) == 0
+        assert ds.category_of(1) == 1
+
+    def test_parts_spatially_separated(self):
+        """Part labels must correlate with geometry: the mean position
+        of different parts differs."""
+        ds = ShapeNetPartLike(num_clouds=1, points_per_cloud=1024)
+        cloud = ds[0]
+        centers = [
+            cloud.xyz[cloud.labels == p].mean(axis=0)
+            for p in np.unique(cloud.labels)
+        ]
+        gaps = [
+            np.linalg.norm(a - b)
+            for i, a in enumerate(centers)
+            for b in centers[i + 1 :]
+        ]
+        assert min(gaps) > 0.05
+
+    def test_deterministic(self):
+        a = ShapeNetPartLike(num_clouds=2, points_per_cloud=128, seed=3)
+        b = ShapeNetPartLike(num_clouds=2, points_per_cloud=128, seed=3)
+        assert np.array_equal(a[1].labels, b[1].labels)
+
+
+class TestIndoorDatasets:
+    @pytest.mark.parametrize("cls", [S3DISLike, ScanNetLike])
+    def test_sizes_and_labels(self, cls):
+        ds = cls(num_clouds=2, points_per_cloud=1024)
+        cloud = ds[0]
+        assert len(cloud) == 1024
+        assert cloud.labels.max() < NUM_SEMANTIC_CLASSES
+
+    @pytest.mark.parametrize("cls", [S3DISLike, ScanNetLike])
+    def test_all_major_classes_present(self, cls):
+        ds = cls(num_clouds=1, points_per_cloud=2048)
+        present = set(np.unique(ds[0].labels).tolist())
+        # Floor, wall and at least one furniture class must survive
+        # occlusion/resampling.
+        assert 0 in present
+        assert 2 in present
+        assert present & {3, 4, 5}
+
+    def test_floor_is_low_ceiling_is_high(self):
+        ds = S3DISLike(num_clouds=1, points_per_cloud=2048)
+        cloud = ds[0]
+        floor_z = cloud.xyz[cloud.labels == 0][:, 2].mean()
+        ceiling_z = cloud.xyz[cloud.labels == 1][:, 2].mean()
+        assert floor_z < ceiling_z
+
+    def test_scannet_noisier_than_s3dis(self):
+        """The ScanNet-like variant adds sensor noise: its points lie
+        off the clean surfaces.  Verify via the z-spread of the floor
+        (exactly planar in S3DIS-like rooms)."""
+        clean = S3DISLike(num_clouds=1, points_per_cloud=2048)[0]
+        noisy = ScanNetLike(num_clouds=1, points_per_cloud=2048)[0]
+        clean_spread = clean.xyz[clean.labels == 0][:, 2].std()
+        noisy_spread = noisy.xyz[noisy.labels == 0][:, 2].std()
+        assert noisy_spread > clean_spread
+
+    def test_scannet_deterministic(self):
+        a = ScanNetLike(num_clouds=2, points_per_cloud=512, seed=5)
+        b = ScanNetLike(num_clouds=2, points_per_cloud=512, seed=5)
+        assert np.array_equal(a[0].xyz, b[0].xyz)
+
+
+class TestBunny:
+    def test_default_point_count(self):
+        from repro.datasets import BUNNY_POINT_COUNT
+
+        cloud = bunny_like()
+        assert len(cloud) == BUNNY_POINT_COUNT == 40256
+
+    def test_custom_count(self):
+        assert len(bunny_like(5000)) == 5000
+
+    def test_irregular_density(self):
+        """The bunny must be *irregularly* sampled — that's what makes
+        raw uniform sampling fail in Fig. 5."""
+        from repro.sampling import density_uniformity, uniform_sample
+
+        cloud = bunny_like(8000)
+        idx = uniform_sample(cloud.xyz, 128)
+        assert density_uniformity(cloud.xyz, idx) > 0.5
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            bunny_like(1000, seed=2).xyz, bunny_like(1000, seed=2).xyz
+        )
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            bunny_like(4)
+
+
+class TestBatching:
+    def test_classification_batches(self):
+        ds = ModelNetLike(num_clouds=8, points_per_cloud=64)
+        batches = make_batches(ds, 4)
+        assert len(batches) == 2
+        assert batches[0].xyz.shape == (4, 64, 3)
+        assert batches[0].labels.shape == (4,)
+
+    def test_segmentation_batches(self):
+        ds = S3DISLike(num_clouds=4, points_per_cloud=256)
+        batches = make_batches(ds, 2, per_point_labels=True)
+        assert batches[0].labels.shape == (2, 256)
+
+    def test_drop_last(self):
+        ds = ModelNetLike(num_clouds=7, points_per_cloud=32)
+        assert len(make_batches(ds, 4)) == 1
+        assert len(make_batches(ds, 4, drop_last=False)) == 2
+
+    def test_explicit_indices(self):
+        ds = ModelNetLike(num_clouds=8, points_per_cloud=32)
+        batches = make_batches(ds, 2, indices=[1, 3, 5, 7])
+        assert batches[0].labels.tolist() == [1, 3]
+
+    def test_batch_properties(self):
+        batch = Batch(
+            xyz=np.zeros((3, 16, 3)), labels=np.zeros(3, dtype=int)
+        )
+        assert batch.batch_size == 3
+        assert batch.points_per_cloud == 16
+
+    def test_too_small_raises(self):
+        ds = ModelNetLike(num_clouds=2, points_per_cloud=32)
+        with pytest.raises(ValueError):
+            make_batches(ds, 4)
+
+    def test_split_disjoint_and_complete(self):
+        ds = ModelNetLike(num_clouds=20, points_per_cloud=32)
+        train, test = train_test_split(ds, 0.25)
+        assert set(train) | set(test) == set(range(20))
+        assert not set(train) & set(test)
+        assert len(test) == 5
+
+    def test_split_rejects_bad_fraction(self):
+        ds = ModelNetLike(num_clouds=4, points_per_cloud=32)
+        with pytest.raises(ValueError):
+            train_test_split(ds, 0.0)

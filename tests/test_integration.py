@@ -1,0 +1,158 @@
+"""End-to-end integration tests: full training runs on the synthetic
+datasets, the retraining-recovers-accuracy experiment (paper Sec. 5.3 /
+Fig. 14a), and the full profiling pipeline over real forwards."""
+
+import numpy as np
+import pytest
+
+from repro.core import EdgePCConfig
+from repro.datasets import (
+    ModelNetLike,
+    S3DISLike,
+    make_batches,
+    train_test_split,
+)
+from repro.nn import Adam, DGCNNClassifier, PointNet2Segmentation, SAConfig
+from repro.runtime import PipelineProfiler, compare
+from repro.nn import StageRecorder
+from repro.train import Trainer, retrain_comparison
+
+
+def _dgcnn_builder(seed=0):
+    def build(config):
+        return DGCNNClassifier(
+            num_classes=4,
+            k=8,
+            ec_channels=((16,), (16,), (32,)),
+            emb_channels=32,
+            head_hidden=32,
+            dropout=0.2,
+            edgepc=config,
+            rng=np.random.default_rng(seed),
+        )
+
+    return build
+
+
+@pytest.fixture(scope="module")
+def modelnet_batches():
+    ds = ModelNetLike(
+        num_clouds=48, points_per_cloud=128, num_classes=4, seed=0
+    )
+    train_idx, test_idx = train_test_split(ds, 0.25)
+    return (
+        make_batches(ds, 8, indices=train_idx),
+        make_batches(ds, 4, indices=test_idx, drop_last=False),
+    )
+
+
+@pytest.fixture(scope="module")
+def fig14_result(modelnet_batches):
+    """The three-way Fig. 14a experiment, shared across assertions."""
+    train_b, test_b = modelnet_batches
+    return retrain_comparison(
+        _dgcnn_builder(),
+        EdgePCConfig.baseline(),
+        EdgePCConfig.paper_default(),
+        train_b,
+        test_b,
+        epochs=10,
+        lr=5e-3,
+    )
+
+
+class TestFig14Accuracy:
+    def test_baseline_learns(self, fig14_result):
+        assert fig14_result.baseline_accuracy > 0.85
+
+    def test_pretrained_weights_degrade_with_approximations(
+        self, fig14_result
+    ):
+        """Sec. 5.3: dropping the approximations into a pretrained
+        model without retraining costs real accuracy."""
+        assert fig14_result.drop_without_retraining > 0.15
+
+    def test_retraining_recovers_accuracy(self, fig14_result):
+        """Fig. 14a: after retraining with the approximations in the
+        loop, the accuracy drop is small (paper: within 2%; we allow
+        one test-batch worth of slack at this tiny scale)."""
+        assert fig14_result.drop_after_retraining <= 0.10
+
+    def test_retraining_beats_weight_swap(self, fig14_result):
+        assert (
+            fig14_result.approx_retrained_accuracy
+            > fig14_result.approx_pretrained_accuracy
+        )
+
+
+class TestPointNet2Segmentation:
+    def test_segmentation_learns_floor_vs_rest(self):
+        """A tiny PointNet++ learns synthetic room segmentation well
+        above the majority-class baseline."""
+        ds = S3DISLike(num_clouds=6, points_per_cloud=128, seed=1)
+        batches = make_batches(ds, 2, per_point_labels=True)
+        sa = (
+            SAConfig(0.5, 8, 0.5, (16, 16)),
+            SAConfig(0.5, 8, 1.0, (32, 32)),
+        )
+        model = PointNet2Segmentation(
+            num_classes=6,
+            sa_configs=sa,
+            edgepc=EdgePCConfig.paper_default(),
+            head_hidden=16,
+            dropout=0.0,
+            rng=np.random.default_rng(0),
+        )
+        trainer = Trainer(model, Adam(model.parameters(), lr=5e-3))
+        trainer.fit(batches, epochs=12)
+        result = trainer.evaluate(batches, num_classes=6)
+        majority = max(
+            np.bincount(
+                np.concatenate([b.labels.reshape(-1) for b in batches])
+            )
+        ) / sum(b.labels.size for b in batches)
+        assert result.accuracy > majority + 0.1
+        assert result.miou > 0.1
+
+
+class TestProfiledRealForward:
+    def test_real_forward_speedup_direction(self, rng):
+        """Pricing *real* recorded traces (not synthesized ones) shows
+        the same S+N speedup direction as Fig. 13.  The cloud must be
+        reasonably large: below ~512 points the sort launch latency
+        makes the Morton path a net loss (by design — Sec. 6.3's
+        guidance to profile before choosing layers)."""
+        xyz = rng.normal(size=(2, 1024, 3))
+        sa = (
+            SAConfig(0.25, 8, 1.0, (8, 8)),
+            SAConfig(0.25, 8, 2.0, (16, 16)),
+        )
+        profiler = PipelineProfiler()
+        recorders = {}
+        configs = {
+            "baseline": EdgePCConfig.baseline(),
+            "edgepc": EdgePCConfig(
+                sample_layers={0},
+                upsample_layers={1},
+                neighbor_layers={0},
+            ),
+        }
+        for name, config in configs.items():
+            model = PointNet2Segmentation(
+                num_classes=3,
+                sa_configs=sa,
+                edgepc=config,
+                head_hidden=8,
+                rng=np.random.default_rng(0),
+            )
+            recorder = StageRecorder()
+            model(xyz, recorder=recorder)
+            recorders[name] = recorder
+        report = compare(
+            profiler,
+            recorders["baseline"], configs["baseline"],
+            recorders["edgepc"], configs["edgepc"],
+        )
+        assert report.sample_neighbor_speedup > 1.5
+        assert report.end_to_end_speedup > 1.0
+        assert report.energy_saving_fraction > 0.0

@@ -1,0 +1,134 @@
+"""Tests for point-cloud file I/O (repro.geometry.io)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import io as pc_io
+from repro.geometry.points import PointCloud
+
+
+@pytest.fixture
+def labelled_cloud(rng):
+    return PointCloud(
+        rng.normal(size=(50, 3)), labels=rng.integers(0, 5, 50)
+    )
+
+
+@pytest.fixture
+def plain_cloud(rng):
+    return PointCloud(rng.normal(size=(30, 3)))
+
+
+class TestXYZ:
+    def test_roundtrip_plain(self, plain_cloud, tmp_path):
+        path = str(tmp_path / "cloud.xyz")
+        pc_io.save_xyz(plain_cloud, path)
+        loaded = pc_io.load_xyz(path)
+        assert np.allclose(loaded.xyz, plain_cloud.xyz)
+        assert loaded.labels is None
+
+    def test_roundtrip_labelled(self, labelled_cloud, tmp_path):
+        path = str(tmp_path / "cloud.xyz")
+        pc_io.save_xyz(labelled_cloud, path)
+        loaded = pc_io.load_xyz(path)
+        assert np.allclose(loaded.xyz, labelled_cloud.xyz)
+        assert np.array_equal(loaded.labels, labelled_cloud.labels)
+
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "c.xyz"
+        path.write_text("# header\n\n1 2 3\n4 5 6\n")
+        loaded = pc_io.load_xyz(str(path))
+        assert len(loaded) == 2
+
+    def test_rejects_bad_columns(self, tmp_path):
+        path = tmp_path / "c.xyz"
+        path.write_text("1 2\n")
+        with pytest.raises(ValueError):
+            pc_io.load_xyz(str(path))
+
+    def test_rejects_empty(self, tmp_path):
+        path = tmp_path / "c.xyz"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            pc_io.load_xyz(str(path))
+
+    def test_rejects_inconsistent_labels(self, tmp_path):
+        path = tmp_path / "c.xyz"
+        path.write_text("1 2 3 7\n4 5 6\n")
+        with pytest.raises(ValueError):
+            pc_io.load_xyz(str(path))
+
+
+class TestPLY:
+    def test_roundtrip_plain(self, plain_cloud, tmp_path):
+        path = str(tmp_path / "cloud.ply")
+        pc_io.save_ply(plain_cloud, path)
+        loaded = pc_io.load_ply(path)
+        assert np.allclose(loaded.xyz, plain_cloud.xyz)
+        assert loaded.labels is None
+
+    def test_roundtrip_labelled(self, labelled_cloud, tmp_path):
+        path = str(tmp_path / "cloud.ply")
+        pc_io.save_ply(labelled_cloud, path)
+        loaded = pc_io.load_ply(path)
+        assert np.allclose(loaded.xyz, labelled_cloud.xyz)
+        assert np.array_equal(loaded.labels, labelled_cloud.labels)
+
+    def test_reads_reordered_properties(self, tmp_path):
+        path = tmp_path / "c.ply"
+        path.write_text(
+            "ply\nformat ascii 1.0\nelement vertex 1\n"
+            "property float z\nproperty float y\nproperty float x\n"
+            "end_header\n3.0 2.0 1.0\n"
+        )
+        loaded = pc_io.load_ply(str(path))
+        assert loaded.xyz[0].tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_binary(self, tmp_path):
+        path = tmp_path / "c.ply"
+        path.write_text(
+            "ply\nformat binary_little_endian 1.0\n"
+            "element vertex 0\nend_header\n"
+        )
+        with pytest.raises(ValueError):
+            pc_io.load_ply(str(path))
+
+    def test_rejects_not_ply(self, tmp_path):
+        path = tmp_path / "c.ply"
+        path.write_text("solid nonsense\n")
+        with pytest.raises(ValueError):
+            pc_io.load_ply(str(path))
+
+    def test_rejects_truncated(self, tmp_path):
+        path = tmp_path / "c.ply"
+        path.write_text(
+            "ply\nformat ascii 1.0\nelement vertex 3\n"
+            "property float x\nproperty float y\nproperty float z\n"
+            "end_header\n1 2 3\n"
+        )
+        with pytest.raises(ValueError):
+            pc_io.load_ply(str(path))
+
+    def test_rejects_list_properties(self, tmp_path):
+        path = tmp_path / "c.ply"
+        path.write_text(
+            "ply\nformat ascii 1.0\nelement vertex 1\n"
+            "property list uchar int vertex_indices\n"
+            "end_header\n"
+        )
+        with pytest.raises(ValueError):
+            pc_io.load_ply(str(path))
+
+
+class TestDispatch:
+    def test_save_load_by_extension(self, plain_cloud, tmp_path):
+        for ext in (".ply", ".xyz", ".txt"):
+            path = str(tmp_path / f"cloud{ext}")
+            pc_io.save(plain_cloud, path)
+            assert len(pc_io.load(path)) == len(plain_cloud)
+
+    def test_rejects_unknown_extension(self, plain_cloud, tmp_path):
+        with pytest.raises(ValueError):
+            pc_io.save(plain_cloud, str(tmp_path / "cloud.obj"))
+        with pytest.raises(ValueError):
+            pc_io.load(str(tmp_path / "cloud.pcd"))

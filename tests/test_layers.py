@@ -1,0 +1,372 @@
+"""Tests for layers, losses, optimizers, and point-cloud functional ops
+(repro.nn.layers / losses / optim / functional)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.functional import (
+    edge_features,
+    gather_points,
+    group_points,
+    max_pool_neighbors,
+    relative_neighborhoods,
+)
+from repro.nn.layers import (
+    BatchNorm,
+    Dropout,
+    LeakyReLU,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    shared_mlp,
+)
+from repro.nn.losses import accuracy, cross_entropy, log_softmax, softmax
+from repro.nn.optim import SGD, Adam, StepLR
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        out = layer(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 7)
+
+    def test_applies_to_last_axis(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 3, 6, 4))))
+        assert out.shape == (2, 3, 6, 7)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        zero_out = layer(Tensor(np.zeros((1, 4))))
+        assert np.allclose(zero_out.data, 0.0)
+
+    def test_rejects_wrong_channels(self, rng):
+        with pytest.raises(ValueError):
+            Linear(4, 2, rng=rng)(Tensor(np.zeros((5, 3))))
+
+    def test_gradients_flow(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        loss = (layer(Tensor(rng.normal(size=(4, 3)))) ** 2).sum()
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestBatchNorm:
+    def test_normalizes_in_train_mode(self, rng):
+        bn = BatchNorm(4)
+        out = bn(Tensor(rng.normal(2.0, 3.0, size=(100, 4))))
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-7)
+        assert np.allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+    def test_normalizes_over_all_leading_axes(self, rng):
+        bn = BatchNorm(4)
+        out = bn(Tensor(rng.normal(5.0, 2.0, size=(8, 16, 4))))
+        assert np.allclose(
+            out.data.reshape(-1, 4).mean(axis=0), 0.0, atol=1e-7
+        )
+
+    def test_running_stats_converge(self, rng):
+        bn = BatchNorm(2, momentum=0.5)
+        for _ in range(30):
+            bn(Tensor(rng.normal(3.0, 1.0, size=(200, 2))))
+        assert np.allclose(bn.running_mean, 3.0, atol=0.3)
+
+    def test_eval_mode_uses_running_stats(self, rng):
+        bn = BatchNorm(2, momentum=1.0)
+        bn(Tensor(rng.normal(2.0, 1.0, size=(500, 2))))
+        bn.eval()
+        x = Tensor(np.full((4, 2), 2.0))
+        out = bn(x)
+        assert np.allclose(out.data, 0.0, atol=0.2)
+
+    def test_gamma_beta_trainable(self, rng):
+        bn = BatchNorm(3)
+        (bn(Tensor(rng.normal(size=(10, 3)))) ** 2).sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+    def test_rejects_wrong_channels(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm(3)(Tensor(np.zeros((5, 4))))
+
+
+class TestActivationsAndDropout:
+    def test_relu_module(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        assert out.data.tolist() == [0.0, 2.0]
+
+    def test_leaky_relu_module(self):
+        out = LeakyReLU(0.1)(Tensor(np.array([-1.0, 2.0])))
+        assert np.allclose(out.data, [-0.1, 2.0])
+
+    def test_dropout_train_scales(self, rng):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((1000, 4)))
+        out = drop(x)
+        kept = out.data != 0
+        assert 0.3 < kept.mean() < 0.7
+        assert np.allclose(out.data[kept], 2.0)
+
+    def test_dropout_eval_identity(self, rng):
+        drop = Dropout(0.5)
+        drop.eval()
+        x = Tensor(rng.normal(size=(10, 4)))
+        assert np.array_equal(drop(x).data, x.data)
+
+    def test_dropout_zero_p(self, rng):
+        x = Tensor(rng.normal(size=(5, 2)))
+        assert np.array_equal(Dropout(0.0)(x).data, x.data)
+
+    def test_dropout_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestModuleInfrastructure:
+    def test_parameter_registry(self, rng):
+        mlp = shared_mlp([4, 8, 8], rng=rng)
+        names = [n for n, _ in mlp.named_parameters()]
+        assert len(names) == len(set(names))
+        # 2 Linears (w+b) + 2 BatchNorms (gamma+beta) = 8 params.
+        assert len(names) == 8
+
+    def test_state_dict_roundtrip(self, rng):
+        a = shared_mlp([4, 8], rng=np.random.default_rng(1))
+        b = shared_mlp([4, 8], rng=np.random.default_rng(2))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 4)))
+        assert np.allclose(a(x).data, b(x).data)
+
+    def test_state_dict_rejects_missing_keys(self, rng):
+        a = shared_mlp([4, 8], rng=rng)
+        state = a.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_state_dict_rejects_bad_shape(self, rng):
+        a = shared_mlp([4, 8], rng=rng)
+        state = a.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_train_eval_propagates(self, rng):
+        mlp = shared_mlp([4, 8, 8], rng=rng)
+        mlp.eval()
+        assert all(not m.training for m in mlp.modules())
+        mlp.train()
+        assert all(m.training for m in mlp.modules())
+
+    def test_zero_grad(self, rng):
+        mlp = shared_mlp([4, 8], rng=rng)
+        (mlp(Tensor(rng.normal(size=(5, 4)))) ** 2).sum().backward()
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+    def test_num_parameters(self, rng):
+        layer = Linear(4, 8, rng=rng)
+        assert layer.num_parameters() == 4 * 8 + 8
+
+    def test_sequential_indexing(self, rng):
+        mlp = shared_mlp([4, 8], rng=rng)
+        assert len(mlp) == 3  # Linear, BatchNorm, ReLU
+        assert isinstance(mlp[0], Linear)
+
+    def test_shared_mlp_no_final_activation(self, rng):
+        mlp = shared_mlp([4, 8, 2], rng=rng, final_activation=False)
+        assert isinstance(mlp[-1], Linear)
+
+    def test_shared_mlp_rejects_single_channel(self, rng):
+        with pytest.raises(ValueError):
+            shared_mlp([4], rng=rng)
+
+    def test_shared_mlp_rejects_bad_activation(self, rng):
+        with pytest.raises(ValueError):
+            shared_mlp([4, 8], rng=rng, activation="gelu")
+
+
+class TestLosses:
+    def test_log_softmax_normalizes(self, rng):
+        logp = log_softmax(Tensor(rng.normal(size=(5, 7))))
+        assert np.allclose(np.exp(logp.data).sum(axis=1), 1.0)
+
+    def test_softmax_stability(self):
+        probs = softmax(Tensor(np.array([[1000.0, 1000.0, 0.0]])))
+        assert np.isfinite(probs.data).all()
+        assert probs.data[0, 0] == pytest.approx(0.5)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 8)))
+        loss = cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(8))
+
+    def test_cross_entropy_segmentation_shape(self, rng):
+        logits = Tensor(rng.normal(size=(2, 16, 5)))
+        loss = cross_entropy(logits, rng.integers(0, 5, (2, 16)))
+        assert loss.shape == ()
+        assert loss.item() > 0
+
+    def test_cross_entropy_gradient_direction(self, rng):
+        logits = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        targets = rng.integers(0, 3, 6)
+        cross_entropy(logits, targets).backward()
+        # Gradient at the target class is (p - 1) < 0.
+        for i, t in enumerate(targets):
+            assert logits.grad[i, t] < 0
+
+    def test_label_smoothing(self, rng):
+        logits = Tensor(np.array([[100.0, 0.0]]))
+        plain = cross_entropy(logits, np.array([0]))
+        smoothed = cross_entropy(
+            logits, np.array([0]), label_smoothing=0.1
+        )
+        assert smoothed.item() > plain.item()
+
+    def test_rejects_bad_targets(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)))
+        with pytest.raises(ValueError):
+            cross_entropy(logits, np.array([0, 1, 2, 3]))
+
+    def test_rejects_shape_mismatch(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)))
+        with pytest.raises(ValueError):
+            cross_entropy(logits, np.zeros(5, dtype=int))
+
+    def test_accuracy(self):
+        logits = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert accuracy(logits, np.array([0, 0])) == 0.5
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, make_optimizer, steps=200):
+        x = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        opt = make_optimizer([x])
+        for _ in range(steps):
+            opt.zero_grad()
+            (x * x).sum().backward()
+            opt.step()
+        return np.abs(x.data).max()
+
+    def test_sgd_converges(self):
+        final = self._quadratic_descent(
+            lambda p: SGD(p, lr=0.1, momentum=0.0)
+        )
+        assert final < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        final = self._quadratic_descent(
+            lambda p: SGD(p, lr=0.05, momentum=0.9), steps=400
+        )
+        assert final < 1e-6
+
+    def test_adam_converges(self):
+        final = self._quadratic_descent(
+            lambda p: Adam(p, lr=0.3), steps=300
+        )
+        assert final < 1e-4
+
+    def test_weight_decay_shrinks(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([x], lr=0.1, momentum=0.0, weight_decay=0.5)
+        x.grad = np.zeros(1)
+        opt.step()
+        assert x.data[0] < 1.0
+
+    def test_skips_params_without_grad(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        before = x.data.copy()
+        SGD([x], lr=0.1).step()
+        assert np.array_equal(x.data, before)
+
+    def test_step_lr_decays(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([x], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == 0.5
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_bad_lr(self, rng):
+        x = Tensor(rng.normal(size=(2,)), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([x], lr=0.0)
+
+
+class TestFunctional:
+    def test_gather_points(self, rng):
+        feats = Tensor(rng.normal(size=(2, 10, 4)), requires_grad=True)
+        idx = np.array([[0, 5], [9, 9]])
+        out = gather_points(feats, idx)
+        assert out.shape == (2, 2, 4)
+        assert np.array_equal(out.data[1, 0], feats.data[1, 9])
+        out.sum().backward()
+        assert feats.grad[1, 9].sum() == pytest.approx(8.0)
+
+    def test_group_points(self, rng):
+        feats = Tensor(rng.normal(size=(2, 10, 3)), requires_grad=True)
+        idx = rng.integers(0, 10, (2, 4, 5))
+        out = group_points(feats, idx)
+        assert out.shape == (2, 4, 5, 3)
+        assert np.array_equal(
+            out.data[0, 2, 3], feats.data[0, idx[0, 2, 3]]
+        )
+
+    def test_group_points_rejects_out_of_range(self, rng):
+        feats = Tensor(rng.normal(size=(1, 4, 2)))
+        with pytest.raises(ValueError):
+            group_points(feats, np.array([[[0, 9]]]))
+
+    def test_relative_neighborhoods_zero_for_self(self, rng):
+        xyz = rng.normal(size=(1, 8, 3))
+        centers = np.array([[2, 5]])
+        neighbors = np.array([[[2, 3], [5, 0]]])
+        rel = relative_neighborhoods(xyz, centers, neighbors)
+        assert np.allclose(rel[0, 0, 0], 0.0)
+        assert np.allclose(rel[0, 1, 0], 0.0)
+        assert np.allclose(
+            rel[0, 0, 1], xyz[0, 3] - xyz[0, 2]
+        )
+
+    def test_max_pool_neighbors(self, rng):
+        grouped = Tensor(rng.normal(size=(2, 4, 6, 3)))
+        out = max_pool_neighbors(grouped)
+        assert out.shape == (2, 4, 3)
+        assert np.allclose(out.data, grouped.data.max(axis=2))
+
+    def test_max_pool_rejects_3d(self, rng):
+        with pytest.raises(ValueError):
+            max_pool_neighbors(Tensor(rng.normal(size=(2, 4, 3))))
+
+    def test_edge_features_structure(self, rng):
+        feats = Tensor(rng.normal(size=(1, 6, 2)))
+        idx = np.array([[[1, 2]] * 6])
+        out = edge_features(feats, idx)
+        assert out.shape == (1, 6, 2, 4)
+        # First half is the center feature, second the difference.
+        assert np.allclose(out.data[0, 3, 0, :2], feats.data[0, 3])
+        assert np.allclose(
+            out.data[0, 3, 0, 2:],
+            feats.data[0, 1] - feats.data[0, 3],
+        )
+
+    def test_edge_features_self_edge_zero_diff(self, rng):
+        feats = Tensor(rng.normal(size=(1, 4, 3)))
+        idx = np.arange(4).reshape(1, 4, 1)
+        out = edge_features(feats, idx)
+        assert np.allclose(out.data[..., 3:], 0.0)

@@ -1,0 +1,143 @@
+"""Tests for Morton encoding/decoding (repro.core.morton)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import morton
+
+
+class TestSpreadCompact:
+    def test_spread_zero(self):
+        assert morton.spread_bits(np.array([0]))[0] == 0
+
+    def test_spread_one(self):
+        assert morton.spread_bits(np.array([1]))[0] == 1
+
+    def test_spread_two_moves_to_bit3(self):
+        assert morton.spread_bits(np.array([2]))[0] == 0b1000
+
+    def test_spread_all_ones_pattern(self):
+        # 0b111 -> bits at positions 0, 3, 6.
+        assert morton.spread_bits(np.array([7]))[0] == 0b1001001
+
+    def test_compact_inverts_spread(self):
+        values = np.arange(1024)
+        assert np.array_equal(
+            morton.compact_bits(morton.spread_bits(values)), values
+        )
+
+    def test_spread_rejects_negative(self):
+        with pytest.raises(ValueError):
+            morton.spread_bits(np.array([-1]))
+
+    def test_spread_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            morton.spread_bits(np.array([1 << 21]))
+
+    def test_spread_max_value(self):
+        top = (1 << 21) - 1
+        spread = morton.spread_bits(np.array([top]))[0]
+        assert morton.compact_bits(np.array([spread]))[0] == top
+
+
+class TestEncodeDecode:
+    def test_paper_example(self):
+        """The worked example of Sec. 4.1: (2, 3, 4) -> 282."""
+        assert morton.encode_scalar(2, 3, 4) == 282
+
+    def test_origin(self):
+        assert morton.encode_scalar(0, 0, 0) == 0
+
+    def test_unit_axes(self):
+        assert morton.encode_scalar(1, 0, 0) == 1
+        assert morton.encode_scalar(0, 1, 0) == 2
+        assert morton.encode_scalar(0, 0, 1) == 4
+
+    def test_decode_scalar(self):
+        assert morton.decode_scalar(282) == (2, 3, 4)
+
+    def test_roundtrip_array(self, rng):
+        cells = rng.integers(0, 1 << 21, size=(5000, 3))
+        assert np.array_equal(
+            morton.decode(morton.encode(cells)), cells
+        )
+
+    def test_encode_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            morton.encode(np.zeros((4, 2), dtype=np.int64))
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            morton.decode(np.array([-5]))
+
+    def test_monotone_along_axes(self):
+        """Codes grow when any single coordinate grows."""
+        base = morton.encode_scalar(5, 9, 2)
+        assert morton.encode_scalar(6, 9, 2) > base
+        assert morton.encode_scalar(5, 10, 2) > base
+        assert morton.encode_scalar(5, 9, 3) > base
+
+    def test_locality_order_of_octants(self):
+        """The Z-curve visits the 8 octants of a 2x2x2 cube in
+        lexicographic (z, y, x) order."""
+        codes = [
+            morton.encode_scalar(x, y, z)
+            for z in (0, 1)
+            for y in (0, 1)
+            for x in (0, 1)
+        ]
+        assert codes == list(range(8))
+
+    @given(
+        st.integers(0, (1 << 21) - 1),
+        st.integers(0, (1 << 21) - 1),
+        st.integers(0, (1 << 21) - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, x, y, z):
+        assert morton.decode_scalar(
+            morton.encode_scalar(x, y, z)
+        ) == (x, y, z)
+
+    @given(
+        st.integers(0, (1 << 21) - 1),
+        st.integers(0, (1 << 21) - 1),
+        st.integers(0, (1 << 21) - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_code_fits_63_bits(self, x, y, z):
+        assert 0 <= morton.encode_scalar(x, y, z) < (1 << 63)
+
+
+class TestBitsPerAxis:
+    def test_default_width(self):
+        assert morton.bits_per_axis(morton.DEFAULT_CODE_BITS) == 10
+
+    @pytest.mark.parametrize(
+        "code_bits,expected", [(3, 1), (12, 4), (32, 10), (63, 21)]
+    )
+    def test_values(self, code_bits, expected):
+        assert morton.bits_per_axis(code_bits) == expected
+
+    def test_rejects_too_narrow(self):
+        with pytest.raises(ValueError):
+            morton.bits_per_axis(2)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            morton.bits_per_axis(66)
+
+
+class TestCodeMemory:
+    def test_paper_formula(self):
+        """Sec. 5.1.3: N points x a bits -> N a / 8 bytes."""
+        assert morton.code_memory_bytes(8192, 32) == 8192 * 4
+
+    def test_zero_points(self):
+        assert morton.code_memory_bytes(0, 32) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            morton.code_memory_bytes(-1, 32)

@@ -1,0 +1,170 @@
+"""Tests for the radix sort kernel (repro.core.sort) and streaming
+Morton-order maintenance (repro.core.streaming)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import morton, structurize
+from repro.core.sort import radix_argsort, radix_sort, sort_operation_count
+from repro.core.streaming import StreamingMortonOrder
+from repro.geometry import BoundingBox
+
+
+class TestRadixSort:
+    def test_sorts_random_keys(self, rng):
+        keys = rng.integers(0, 1 << 62, size=5000)
+        assert np.array_equal(
+            radix_sort(keys), np.sort(keys)
+        )
+
+    def test_argsort_matches_numpy(self, rng):
+        keys = rng.integers(0, 1 << 40, size=2000)
+        assert np.array_equal(
+            radix_argsort(keys), np.argsort(keys, kind="stable")
+        )
+
+    def test_stability(self):
+        keys = np.array([5, 3, 5, 3, 5], dtype=np.int64)
+        order = radix_argsort(keys)
+        # Equal keys keep input order.
+        assert order.tolist() == [1, 3, 0, 2, 4]
+
+    def test_empty(self):
+        assert radix_argsort(np.array([], dtype=np.int64)).size == 0
+
+    def test_single(self):
+        assert radix_argsort(np.array([42])).tolist() == [0]
+
+    def test_already_sorted(self):
+        keys = np.arange(100)
+        assert np.array_equal(radix_argsort(keys), keys)
+
+    def test_skips_unused_passes(self, rng):
+        """Small keys sort correctly (pass count derived from max)."""
+        keys = rng.integers(0, 200, size=500)
+        assert np.array_equal(radix_sort(keys), np.sort(keys))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            radix_argsort(np.array([-1, 3]))
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            radix_argsort(np.array([1.5]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            radix_argsort(np.zeros((2, 2), dtype=np.int64))
+
+    def test_sorts_real_morton_codes(self, medium_cloud):
+        order = structurize(medium_cloud)
+        assert np.array_equal(
+            radix_argsort(order.codes),
+            np.argsort(order.codes, kind="stable"),
+        )
+
+    def test_operation_count(self):
+        assert sort_operation_count(1000, 32) == 1000 * 4
+        assert sort_operation_count(1000, 63) == 1000 * 8
+        with pytest.raises(ValueError):
+            sort_operation_count(-1)
+
+    @given(
+        keys=arrays(
+            np.int64,
+            st.integers(0, 300),
+            elements=st.integers(0, (1 << 62) - 1),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_property(self, keys):
+        assert np.array_equal(
+            radix_argsort(keys), np.argsort(keys, kind="stable")
+        )
+
+
+def _box() -> BoundingBox:
+    return BoundingBox(np.zeros(3), np.ones(3) * 10.0)
+
+
+class TestStreamingOrder:
+    def test_insert_keeps_sorted(self, rng):
+        stream = StreamingMortonOrder(_box())
+        for _ in range(5):
+            stream.insert(rng.random((100, 3)) * 10.0)
+        assert (np.diff(stream.codes) >= 0).all()
+        assert len(stream) == 500
+
+    def test_matches_batch_structurize(self, rng):
+        """Incremental insertion and a one-shot structurize produce
+        the same sorted code sequence."""
+        stream = StreamingMortonOrder(_box())
+        chunks = [rng.random((64, 3)) * 10.0 for _ in range(4)]
+        for chunk in chunks:
+            stream.insert(chunk)
+        batch = structurize(
+            np.concatenate(chunks), bounding_box=_box()
+        )
+        assert np.array_equal(stream.codes, batch.sorted_codes)
+
+    def test_as_order_identity_permutation(self, rng):
+        stream = StreamingMortonOrder(_box())
+        stream.insert(rng.random((50, 3)) * 10.0)
+        order = stream.as_order()
+        assert np.array_equal(order.permutation, np.arange(50))
+        assert (np.diff(order.sorted_codes) >= 0).all()
+
+    def test_order_feeds_sampler(self, rng):
+        from repro.core import MortonSampler
+
+        stream = StreamingMortonOrder(_box())
+        stream.insert(rng.random((256, 3)) * 10.0)
+        result = MortonSampler().sample(
+            stream.points, 32, order=stream.as_order()
+        )
+        assert len(result) == 32
+
+    def test_remove_outside(self, rng):
+        stream = StreamingMortonOrder(_box())
+        stream.insert(rng.random((200, 3)) * 10.0)
+        half = BoundingBox(np.zeros(3), np.array([5.0, 10.0, 10.0]))
+        removed = stream.remove_outside(half)
+        assert removed > 0
+        assert half.contains(stream.points).all()
+        assert (np.diff(stream.codes) >= 0).all()
+
+    def test_remove_duplicates_keeps_newest(self):
+        stream = StreamingMortonOrder(_box())
+        first = np.array([[1.0, 1.0, 1.0]])
+        second = np.array([[1.0001, 1.0001, 1.0001]])  # same voxel
+        stream.insert(first)
+        stream.insert(second)
+        removed = stream.remove_oldest_duplicates()
+        assert removed == 1
+        assert np.allclose(stream.points[0], second[0])
+
+    def test_maintenance_cheaper_than_resort(self, rng):
+        """Inserting a small frame into a large standing set costs less
+        than a from-scratch re-sort."""
+        stream = StreamingMortonOrder(_box())
+        stream.insert(rng.random((5000, 3)) * 10.0)
+        before = stream.maintenance_ops
+        stream.insert(rng.random((100, 3)) * 10.0)
+        incremental = stream.maintenance_ops - before
+        assert incremental < stream.scratch_resort_ops()
+
+    def test_empty_insert_noop(self):
+        stream = StreamingMortonOrder(_box())
+        stream.insert(np.empty((0, 3)))
+        assert len(stream) == 0
+
+    def test_as_order_empty_raises(self):
+        with pytest.raises(ValueError):
+            StreamingMortonOrder(_box()).as_order()
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            StreamingMortonOrder(_box()).insert(np.zeros((3, 2)))

@@ -1,0 +1,296 @@
+"""Tests for the Table-1 workload specs and trace synthesis
+(repro.workloads), including the trace-vs-real-forward cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.core import EdgePCConfig
+from repro.nn import (
+    DGCNNClassifier,
+    PointNet2Segmentation,
+    SAConfig,
+    StageRecorder,
+)
+from repro.workloads import (
+    DGCNNArch,
+    PointNet2Arch,
+    WorkloadSpec,
+    standard_workloads,
+    trace,
+)
+
+
+class TestSpecs:
+    def test_table1_rows(self):
+        specs = standard_workloads()
+        assert set(specs) == {"W1", "W2", "W3", "W4", "W5", "W6"}
+        assert specs["W1"].points_per_batch == 8192
+        assert specs["W3"].points_per_batch == 1024
+        assert specs["W4"].points_per_batch == 2048
+        assert specs["W5"].points_per_batch == 4096
+        assert specs["W6"].points_per_batch == 8192
+
+    def test_table1_models_and_tasks(self):
+        specs = standard_workloads()
+        assert specs["W1"].model == "pointnet2"
+        assert specs["W2"].dataset == "ScanNet"
+        assert specs["W3"].task == "classification"
+        assert specs["W4"].task == "part_segmentation"
+        assert specs["W6"].task == "semantic_segmentation"
+
+    def test_w1_batch_fixed_32(self):
+        assert standard_workloads()["W1"].batch_size == 32
+
+    def test_w2_batch_is_scan_mean(self):
+        """W2's batch size varies 4-41 with mean 14 (Sec. 6.2)."""
+        assert standard_workloads()["W2"].batch_size == 14
+
+    def test_arch_validation(self):
+        with pytest.raises(ValueError):
+            PointNet2Arch(
+                num_points=100,
+                sa_points=(200,),  # cannot grow
+                k=8,
+                sa_mlps=((8,),),
+                fp_mlps=((8,),),
+                head=(8, 2),
+            )
+        with pytest.raises(ValueError):
+            DGCNNArch(
+                num_points=100, k=8, ec_mlps=(), emb_channels=8,
+                head=(8, 2),
+            )
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                "bad", "transformer", "X", "t", 10, 1, 2, None
+            )
+
+
+class TestTraceSynthesis:
+    def test_baseline_pointnet2_ops(self):
+        spec = standard_workloads()["W1"]
+        rec = trace(spec, EdgePCConfig.baseline())
+        ops = rec.op_names()
+        assert "fps" in ops
+        assert "ball_query" in ops
+        assert "interp_exact" in ops
+        assert "morton_sort" not in ops
+
+    def test_edgepc_pointnet2_ops(self):
+        spec = standard_workloads()["W1"]
+        rec = trace(spec, EdgePCConfig.paper_default())
+        ops = rec.op_names()
+        assert "morton_gen" in ops
+        assert "morton_window" in ops
+        assert "interp_morton" in ops
+        # Non-optimized layers keep the exact kernels.
+        assert "fps" in ops
+        assert "ball_query" in ops
+
+    def test_pointnet2_layer_counts(self):
+        spec = standard_workloads()["W2"]
+        rec = trace(spec, EdgePCConfig.baseline())
+        fps_events = [e for e in rec if e.op == "fps"]
+        assert len(fps_events) == 4
+        interp = [e for e in rec if e.op == "interp_exact"]
+        assert len(interp) == 4
+
+    def test_dgcnn_reuse_schedule(self):
+        spec = standard_workloads()["W3"]
+        rec = trace(spec, EdgePCConfig.paper_default())
+        neighbor_ops = [
+            e.op for e in rec if e.stage == "neighbor_search"
+        ]
+        # Modules: EC1 morton, EC2 reuse, EC3 knn, EC4 reuse
+        # ("skipped for the second and fourth EC modules", Sec. 6.2).
+        assert neighbor_ops == [
+            "morton_gen", "morton_sort", "morton_window",
+            "reuse", "knn", "reuse",
+        ]
+
+    def test_dgcnn_baseline_all_knn(self):
+        spec = standard_workloads()["W4"]
+        rec = trace(spec, EdgePCConfig.baseline())
+        neighbor_ops = [
+            e.op for e in rec if e.stage == "neighbor_search"
+        ]
+        assert neighbor_ops == ["knn"] * 4
+
+    def test_dgcnn_feature_space_dims(self):
+        spec = standard_workloads()["W3"]
+        rec = trace(spec, EdgePCConfig.baseline())
+        dims = [
+            e.counts["dim"]
+            for e in rec
+            if e.op == "knn"
+        ]
+        assert dims[0] == 3
+        assert all(d > 3 for d in dims[1:])
+
+    def test_batch_recorded(self):
+        spec = standard_workloads()["W1"]
+        rec = trace(spec, EdgePCConfig.baseline())
+        for event in rec:
+            if event.op != "matmul":
+                assert event.counts["batch"] == 32
+
+    def test_classification_head_single_row_per_cloud(self):
+        spec = standard_workloads()["W3"]
+        rec = trace(spec, EdgePCConfig.baseline())
+        matmuls = [e for e in rec if e.op == "matmul"]
+        head = matmuls[-1]
+        assert head.counts["rows"] == spec.batch_size
+
+
+class TestTraceMatchesRealForward:
+    """The synthesized traces must agree op-for-op with a real forward
+    pass of the same architecture (small scale)."""
+
+    def test_pointnet2_op_sequence(self, rng):
+        config = EdgePCConfig.paper_default()
+        # Real model: 4 tiny SA levels with the trace generator's
+        # point ratios.
+        sa = tuple(
+            SAConfig(0.5, 4, 2.0, (8, 8)) for _ in range(4)
+        )
+        model = PointNet2Segmentation(
+            num_classes=3, sa_configs=sa, edgepc=config,
+            head_hidden=8, rng=np.random.default_rng(0),
+        )
+        rec_real = StageRecorder()
+        model(rng.normal(size=(2, 64, 3)), recorder=rec_real)
+
+        arch = PointNet2Arch(
+            num_points=64,
+            sa_points=(32, 16, 8, 4),
+            k=4,
+            sa_mlps=((8, 8),) * 4,
+            fp_mlps=((8, 8),) * 4,
+            head=(8, 3),
+        )
+        spec = WorkloadSpec(
+            "toy", "pointnet2", "toy", "semantic_segmentation",
+            64, 2, 3, arch,
+        )
+        rec_synth = trace(spec, config)
+        real_ops = [
+            (e.stage, e.op)
+            for e in rec_real
+            if e.op != "matmul" and e.op != "gather"
+        ]
+        synth_ops = [
+            (e.stage, e.op)
+            for e in rec_synth
+            if e.op != "matmul" and e.op != "gather"
+        ]
+        assert real_ops == synth_ops
+
+    def test_dgcnn_op_sequence(self, rng):
+        config = EdgePCConfig.paper_default()
+        model = DGCNNClassifier(
+            num_classes=4, k=4,
+            ec_channels=((8,), (8,), (8,), (8,)),
+            emb_channels=8, head_hidden=8,
+            edgepc=config, rng=np.random.default_rng(0),
+        )
+        rec_real = StageRecorder()
+        model(rng.normal(size=(2, 32, 3)), recorder=rec_real)
+
+        arch = DGCNNArch(
+            num_points=32, k=4,
+            ec_mlps=((8,), (8,), (8,), (8,)),
+            emb_channels=8, head=(4,),
+        )
+        spec = WorkloadSpec(
+            "toy", "dgcnn", "toy", "classification", 32, 2, 4, arch,
+        )
+        rec_synth = trace(spec, config)
+        real_ns = [
+            e.op for e in rec_real if e.stage == "neighbor_search"
+        ]
+        synth_ns = [
+            e.op for e in rec_synth if e.stage == "neighbor_search"
+        ]
+        assert real_ns == synth_ns
+
+
+class TestScanBatchSizes:
+    def test_mean_and_range(self):
+        import numpy as np
+
+        from repro.workloads import scan_batch_sizes
+
+        sizes = scan_batch_sizes(
+            5000, np.random.default_rng(0)
+        )
+        assert sizes.min() >= 4
+        assert sizes.max() <= 41
+        assert abs(sizes.mean() - 14.0) < 1.0  # paper's mean batch
+
+    def test_deterministic_default(self):
+        from repro.workloads import scan_batch_sizes
+
+        a = scan_batch_sizes(20)
+        b = scan_batch_sizes(20)
+        assert (a == b).all()
+
+    def test_rejects_bad_args(self):
+        import pytest as _pytest
+
+        from repro.workloads import scan_batch_sizes
+
+        with _pytest.raises(ValueError):
+            scan_batch_sizes(0)
+        with _pytest.raises(ValueError):
+            scan_batch_sizes(5, mean=100.0)
+
+
+class TestTraceWithBatch:
+    def test_overrides_batch(self):
+        from repro.core import EdgePCConfig
+        from repro.workloads import (
+            standard_workloads,
+            trace_with_batch,
+        )
+
+        spec = standard_workloads()["W2"]
+        rec = trace_with_batch(spec, EdgePCConfig.baseline(), 7)
+        fps = [e for e in rec if e.op == "fps"]
+        assert fps[0].counts["batch"] == 7
+
+    def test_per_frame_latency_scales(self):
+        from repro.core import EdgePCConfig
+        from repro.runtime import PipelineProfiler
+        from repro.workloads import (
+            standard_workloads,
+            trace_with_batch,
+        )
+
+        spec = standard_workloads()["W2"]
+        config = EdgePCConfig.baseline()
+        profiler = PipelineProfiler()
+        small = profiler.breakdown(
+            trace_with_batch(spec, config, 4), config
+        ).total_s
+        large = profiler.breakdown(
+            trace_with_batch(spec, config, 41), config
+        ).total_s
+        assert large > 8 * small
+
+    def test_rejects_bad_batch(self):
+        import pytest as _pytest
+
+        from repro.core import EdgePCConfig
+        from repro.workloads import (
+            standard_workloads,
+            trace_with_batch,
+        )
+
+        with _pytest.raises(ValueError):
+            trace_with_batch(
+                standard_workloads()["W2"],
+                EdgePCConfig.baseline(),
+                0,
+            )
