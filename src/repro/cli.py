@@ -95,7 +95,30 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_sample(args: argparse.Namespace) -> int:
+    from repro.geometry.points import PointCloud
+    from repro.robustness import (
+        CloudValidationError,
+        ValidationPolicy,
+        sanitize_cloud,
+    )
+
     cloud = pc_io.load(args.input)
+    policy = ValidationPolicy(
+        on_invalid=args.validation_policy,
+        min_points=args.num_samples,
+    )
+    try:
+        xyz, report = sanitize_cloud(cloud.xyz, policy)
+    except CloudValidationError as err:
+        raise SystemExit(f"input rejected: {err}")
+    if not report.ok:
+        print(f"sanitized input: {report.summary()}")
+        if report.dropped:
+            # Point identities changed; per-point labels no longer line
+            # up, so continue with coordinates only.
+            cloud = PointCloud(xyz)
+        else:
+            cloud = PointCloud(xyz, labels=cloud.labels)
     n = args.num_samples
     if not 1 <= n <= len(cloud):
         raise SystemExit(
@@ -105,6 +128,24 @@ def cmd_sample(args: argparse.Namespace) -> int:
         indices = farthest_point_sample(cloud.xyz, n, start_index=0)
     elif args.method == "morton":
         indices = MortonSampler().sample(cloud.xyz, n).indices
+        if args.guard:
+            from repro.sampling.quality import density_uniformity
+
+            cv = density_uniformity(cloud.xyz, indices)
+            if cv > args.guard_threshold:
+                print(
+                    f"guard: Morton sample density CV {cv:.2f} "
+                    f"exceeds {args.guard_threshold:.2f}; "
+                    "falling back to exact FPS"
+                )
+                indices = farthest_point_sample(
+                    cloud.xyz, n, start_index=0
+                )
+            else:
+                print(
+                    f"guard: Morton sample density CV {cv:.2f} "
+                    f"within {args.guard_threshold:.2f}"
+                )
     else:
         indices = uniform_sample(cloud.xyz, n)
     sampled = cloud.select(indices)
@@ -219,6 +260,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sample.add_argument(
         "-n", "--num-samples", type=int, default=1024
+    )
+    sample.add_argument(
+        "--validation-policy", default="reject",
+        choices=("reject", "repair", "clamp"),
+        help="how to treat degenerate input clouds",
+    )
+    sample.add_argument(
+        "--guard", action="store_true",
+        help="fall back to exact FPS when the Morton sample's "
+        "density-uniformity probe trips",
+    )
+    sample.add_argument(
+        "--guard-threshold", type=float, default=1.5,
+        help="density-uniformity CV above which --guard trips",
     )
     sample.set_defaults(func=cmd_sample)
 

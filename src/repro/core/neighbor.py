@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.structurize import MortonOrder, structurize
 from repro.core import morton
+from repro.robustness.validate import ensure_finite
 
 
 def window_ranks(
@@ -120,6 +121,10 @@ class MortonNeighborSearch:
         points = np.asarray(points, dtype=np.float64)
         if order is None:
             order = structurize(points, self.code_bits)
+        else:
+            # structurize() validates its own input; a precomputed
+            # order bypasses it, so check here.
+            ensure_finite(points, "search")
         if query_indices is None:
             query_ranks = np.arange(len(order))
             # All points queried in rank order: remap output rows back

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core import morton
 from repro.core.structurize import MortonOrder, structurize
 from repro.geometry.bbox import BoundingBox
+from repro.robustness.validate import ensure_finite
 from repro.sampling.uniform import uniform_stride_indices
 
 
@@ -77,6 +78,10 @@ class MortonSampler:
             )
         elif len(order) != points.shape[0]:
             raise ValueError("Morton order does not match the point count")
+        else:
+            # structurize() validates its own input; a precomputed
+            # order bypasses it, so check here.
+            ensure_finite(points, "sample")
         ranks = uniform_stride_indices(len(order), num_samples)
         return MortonSampleResult(
             indices=order.original_index_of(ranks),

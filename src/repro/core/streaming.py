@@ -18,10 +18,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Optional
+
 from repro.core import morton
 from repro.core.structurize import MortonOrder
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.voxel import VoxelGrid
+from repro.robustness.validate import (
+    CloudValidationError,
+    ValidationPolicy,
+    sanitize_cloud,
+)
 
 
 class StreamingMortonOrder:
@@ -30,6 +37,13 @@ class StreamingMortonOrder:
     Args:
         bounding_box: the fixed scene-level quantization domain.
         code_bits: Morton code width.
+        validation: sanitization policy applied to every insertion.
+            The default rejects non-finite points (a NaN would poison
+            its Morton code and break the sorted invariant for every
+            later merge) but accepts out-of-box points, which quantize
+            to the scene-boundary voxels exactly as before.  Pass a
+            policy with ``bounding_box`` set (usually the scene box)
+            to drop (``repair``) or clip (``clamp``) strays instead.
 
     The object stores points in sorted order internally;
     :attr:`points` exposes them, and :meth:`as_order` materializes a
@@ -40,12 +54,17 @@ class StreamingMortonOrder:
         self,
         bounding_box: BoundingBox,
         code_bits: int = morton.DEFAULT_CODE_BITS,
+        validation: Optional[ValidationPolicy] = None,
     ) -> None:
         per_axis = morton.bits_per_axis(code_bits)
         self.code_bits = code_bits
+        self.validation = validation or ValidationPolicy()
         self.grid = VoxelGrid.for_box(bounding_box, per_axis)
         self._points = np.empty((0, 3), dtype=np.float64)
         self._codes = np.empty(0, dtype=np.int64)
+        #: Sanitization report of the most recent insert (None before
+        #: the first one).
+        self.last_report = None
         #: Sort work performed so far, in merge-equivalent element ops
         #: (for comparing against from-scratch re-sorts).
         self.maintenance_ops = 0
@@ -73,6 +92,23 @@ class StreamingMortonOrder:
             raise ValueError(
                 f"expected (M, 3) points, got {new_points.shape}"
             )
+        if new_points.shape[0] == 0:
+            return
+        try:
+            new_points, self.last_report = sanitize_cloud(
+                new_points, self.validation
+            )
+        except CloudValidationError as err:
+            if (
+                self.validation.on_invalid == "repair"
+                and err.report.n_output == 0
+            ):
+                # Repair discarded the whole frame (e.g. every point
+                # was a stray outside the scene box): a no-op insert,
+                # not an error.
+                self.last_report = err.report
+                return
+            raise
         if new_points.shape[0] == 0:
             return
         new_codes = morton.encode(self.grid.voxelize(new_points))

@@ -105,8 +105,13 @@ def structurize(
         raise ValueError(f"expected (N, 3) points, got {points.shape}")
     if points.shape[0] == 0:
         raise ValueError("cannot structurize an empty point set")
-    if not np.isfinite(points).all():
-        raise ValueError("points contain non-finite coordinates")
+    finite = np.isfinite(points).all(axis=1)
+    if not finite.all():
+        bad = int((~finite).sum())
+        raise ValueError(
+            f"cannot structurize: {bad} of {points.shape[0]} points "
+            "have non-finite coordinates"
+        )
     per_axis = morton.bits_per_axis(code_bits)
     box = bounding_box or BoundingBox.of_points(points)
     grid = VoxelGrid.for_box(box, per_axis)

@@ -10,22 +10,35 @@ points per cloud, irregular density, and learnable labels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.geometry.points import PointCloud
+from repro.robustness.validate import (
+    CloudValidationError,
+    ValidationPolicy,
+    sanitize_cloud,
+)
 
 
 class SyntheticDataset:
     """Base class: deterministic, index-addressable cloud generator.
 
     Subclasses implement :meth:`_generate` to build the ``i``-th cloud;
-    the base class provides batching and train/test splits.
+    the base class provides batching and train/test splits.  Every
+    generated cloud passes through the sanitization boundary
+    (:func:`~repro.robustness.validate.sanitize_cloud`) so a buggy or
+    misconfigured generator fails loudly at the loader instead of
+    feeding garbage into training.
     """
 
     def __init__(
-        self, num_clouds: int, points_per_cloud: int, seed: int = 0
+        self,
+        num_clouds: int,
+        points_per_cloud: int,
+        seed: int = 0,
+        validation: Optional[ValidationPolicy] = None,
     ) -> None:
         if num_clouds < 1:
             raise ValueError("num_clouds must be positive")
@@ -34,6 +47,7 @@ class SyntheticDataset:
         self.num_clouds = num_clouds
         self.points_per_cloud = points_per_cloud
         self.seed = seed
+        self.validation = validation or ValidationPolicy()
 
     def __len__(self) -> int:
         return self.num_clouds
@@ -51,6 +65,13 @@ class SyntheticDataset:
                 f"generator produced {len(cloud)} points, expected "
                 f"{self.points_per_cloud}"
             )
+        try:
+            sanitize_cloud(cloud.xyz, self.validation)
+        except CloudValidationError as err:
+            raise RuntimeError(
+                f"generator produced an invalid cloud at index "
+                f"{index}: {err}"
+            ) from err
         return cloud
 
     def __iter__(self) -> Iterator[PointCloud]:

@@ -30,6 +30,13 @@ class BoundingBox:
         maximum = np.asarray(self.maximum, dtype=np.float64)
         if minimum.shape != (3,) or maximum.shape != (3,):
             raise ValueError("bounding box corners must be 3-vectors")
+        if not (
+            np.isfinite(minimum).all() and np.isfinite(maximum).all()
+        ):
+            raise ValueError(
+                "bounding box corners must be finite; NaN/Inf corners "
+                "would poison every Morton code derived from the box"
+            )
         if np.any(maximum < minimum):
             raise ValueError("maximum must be >= minimum on every axis")
         object.__setattr__(self, "minimum", minimum)
@@ -43,6 +50,13 @@ class BoundingBox:
             raise ValueError(f"expected (N, 3) points, got {points.shape}")
         if points.shape[0] == 0:
             raise ValueError("cannot bound an empty point set")
+        finite = np.isfinite(points).all(axis=1)
+        if not finite.all():
+            bad = int((~finite).sum())
+            raise ValueError(
+                f"cannot bound: {bad} of {points.shape[0]} points "
+                "have non-finite coordinates"
+            )
         return cls(points.min(axis=0), points.max(axis=0))
 
     @property

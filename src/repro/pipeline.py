@@ -3,13 +3,17 @@
 :class:`EdgePCPipeline` is the convenience entry point a downstream
 application would use: wrap any of the library's models and get
 inference, per-batch device profiling, and baseline comparison in one
-object, without touching recorders or the cost model directly.
+object, without touching recorders or the cost model directly.  Input
+batches pass through the :mod:`repro.robustness.validate` boundary
+before touching the model; wrap the pipeline in a
+:class:`~repro.robustness.guard.GuardedPipeline` for quality-triggered
+exact-kernel fallback on top.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -17,6 +21,11 @@ from repro.core.pipeline import EdgePCConfig
 from repro.nn.autograd import Tensor, no_grad
 from repro.nn.layers import Module
 from repro.nn.recorder import StageRecorder
+from repro.robustness.validate import (
+    ValidationPolicy,
+    ValidationReport,
+    sanitize_batch,
+)
 from repro.runtime.device import DeviceSpec
 from repro.runtime.profiler import (
     ComparisonReport,
@@ -27,6 +36,32 @@ from repro.runtime.profiler import (
 )
 
 
+class EmptyTraceError(ValueError):
+    """A pass recorded no priced work, so no rate can be derived.
+
+    Subclasses :class:`ValueError` for backwards compatibility, but is
+    distinct from input-validation failures
+    (:class:`~repro.robustness.validate.CloudValidationError`) so
+    callers can tell "your input was bad" from "the model did
+    nothing".
+    """
+
+
+class ThroughputEstimate(NamedTuple):
+    """Simulated-device throughput of one profiled batch.
+
+    A named tuple, so legacy ``batches, clouds = estimate`` unpacking
+    keeps working.
+    """
+
+    batches_per_second: float
+    clouds_per_second: float
+
+    @property
+    def latency_ms(self) -> float:
+        return 1e3 / self.batches_per_second
+
+
 @dataclass(frozen=True)
 class InferenceResult:
     """Predictions plus the simulated device profile of the pass."""
@@ -35,6 +70,11 @@ class InferenceResult:
     predictions: np.ndarray
     breakdown: StageBreakdown
     energy: EnergyReport
+    #: Priced operation names of the pass (e.g. ``"fps"`` vs
+    #: ``"morton_sort"``) — lets callers verify which kernels ran.
+    stage_ops: Tuple[str, ...] = ()
+    #: Per-cloud sanitization reports from the validation boundary.
+    validation: Tuple[ValidationReport, ...] = ()
 
     @property
     def latency_ms(self) -> float:
@@ -55,6 +95,11 @@ class EdgePCPipeline:
         config: the model's :class:`EdgePCConfig`; defaults to the
             model's own ``edgepc`` attribute.
         device: simulated device; defaults to the Xavier-like spec.
+        validation: sanitization policy applied to every batch
+            entering :meth:`infer` / :meth:`record`; defaults to the
+            strict ``reject`` policy (raise
+            :class:`~repro.robustness.validate.CloudValidationError`
+            on NaN/Inf, undersized, or malformed input).
     """
 
     def __init__(
@@ -62,6 +107,7 @@ class EdgePCPipeline:
         model: Module,
         config: Optional[EdgePCConfig] = None,
         device: Optional[DeviceSpec] = None,
+        validation: Optional[ValidationPolicy] = None,
     ) -> None:
         config = config if config is not None else getattr(
             model, "edgepc", None
@@ -73,10 +119,18 @@ class EdgePCPipeline:
         self.model = model
         self.config = config
         self.profiler = PipelineProfiler(device)
+        self.validation = validation or ValidationPolicy()
+
+    def _sanitize(
+        self, xyz: np.ndarray
+    ) -> Tuple[np.ndarray, List[ValidationReport]]:
+        return sanitize_batch(
+            np.asarray(xyz, dtype=np.float64), self.validation
+        )
 
     def infer(self, xyz: np.ndarray) -> InferenceResult:
-        """Run one batch in eval mode and profile it."""
-        xyz = np.asarray(xyz, dtype=np.float64)
+        """Sanitize and run one batch in eval mode, and profile it."""
+        xyz, reports = self._sanitize(xyz)
         recorder = StageRecorder()
         was_training = self.model.training
         self.model.eval()
@@ -94,15 +148,22 @@ class EdgePCPipeline:
             predictions=data.argmax(axis=-1),
             breakdown=self.profiler.breakdown(recorder, self.config),
             energy=self.profiler.energy(recorder, self.config),
+            stage_ops=tuple(recorder.op_names()),
+            validation=tuple(reports),
         )
 
     def record(self, xyz: np.ndarray) -> StageRecorder:
         """Run one batch and return the raw stage trace."""
+        xyz, _ = self._sanitize(xyz)
         recorder = StageRecorder()
+        was_training = self.model.training
         self.model.eval()
-        with no_grad():
-            self.model(xyz, recorder=recorder)
-        self.model.train()
+        try:
+            with no_grad():
+                self.model(xyz, recorder=recorder)
+        finally:
+            if was_training:
+                self.model.train()
         return recorder
 
     def compare_with(
@@ -118,10 +179,20 @@ class EdgePCPipeline:
 
     def throughput_estimate(
         self, xyz: np.ndarray
-    ) -> Tuple[float, float]:
-        """(batches/second, clouds/second) on the simulated device."""
+    ) -> ThroughputEstimate:
+        """Batches/second and clouds/second on the simulated device.
+
+        Raises:
+            EmptyTraceError: the model recorded no priced work, so no
+                throughput can be derived.
+        """
         result = self.infer(xyz)
         if result.breakdown.total_s == 0:
-            raise ValueError("empty trace; model recorded no work")
+            raise EmptyTraceError(
+                "empty trace; model recorded no work"
+            )
         batches_per_s = 1.0 / result.breakdown.total_s
-        return batches_per_s, batches_per_s * xyz.shape[0]
+        return ThroughputEstimate(
+            batches_per_second=batches_per_s,
+            clouds_per_second=batches_per_s * xyz.shape[0],
+        )

@@ -1,0 +1,76 @@
+"""Guarded inference: sanitization, quality probes, fault injection.
+
+Three pieces (see docs/architecture.md, "Failure modes & graceful
+degradation"):
+
+- :mod:`repro.robustness.validate` — the single input-sanitization
+  boundary (``sanitize_cloud`` / ``ValidationPolicy``);
+- :mod:`repro.robustness.guard` — ``GuardedPipeline``, the online
+  quality probes and the per-stage exact-kernel fallback with a
+  circuit breaker;
+- :mod:`repro.robustness.faults` — the deterministic fault-injection
+  harness driving the robustness test matrix.
+
+``validate`` and ``faults`` depend only on NumPy and geometry, so
+low-level modules (``core.streaming``, the dataset loaders) may import
+them without inverting the dependency layering.  ``guard`` sits at the
+top of the stack (it imports the samplers and searchers), so it is
+loaded lazily on first attribute access.
+"""
+
+from repro.robustness.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    standard_faults,
+)
+from repro.robustness.validate import (
+    CloudValidationError,
+    ValidationIssue,
+    ValidationPolicy,
+    ValidationReport,
+    count_non_finite,
+    ensure_finite,
+    sanitize_batch,
+    sanitize_cloud,
+)
+
+_GUARD_EXPORTS = frozenset(
+    {
+        "CircuitBreaker",
+        "GuardThresholds",
+        "GuardedInferenceResult",
+        "GuardedPipeline",
+        "StageDegradation",
+        "degraded_config",
+        "probe_false_neighbor_rate",
+        "probe_sampling_uniformity",
+        "swapped_config",
+    }
+)
+
+__all__ = [
+    "ValidationPolicy",
+    "ValidationIssue",
+    "ValidationReport",
+    "CloudValidationError",
+    "sanitize_cloud",
+    "sanitize_batch",
+    "count_non_finite",
+    "ensure_finite",
+    "FaultSpec",
+    "FaultInjector",
+    "standard_faults",
+    "FAULT_KINDS",
+    *sorted(_GUARD_EXPORTS),
+]
+
+
+def __getattr__(name):
+    if name in _GUARD_EXPORTS:
+        from repro.robustness import guard
+
+        return getattr(guard, name)
+    raise AttributeError(
+        f"module 'repro.robustness' has no attribute {name!r}"
+    )

@@ -71,6 +71,66 @@ class TestSampleCommand:
                  "-n", "99999"]
             )
 
+    @pytest.fixture
+    def stuck_sensor_file(self, tmp_path):
+        """A duplicate-collapsed cloud (every return identical)."""
+        from repro.geometry.points import PointCloud
+
+        path = str(tmp_path / "stuck.xyz")
+        pc_io.save(PointCloud(np.ones((200, 3))), path)
+        return path
+
+    def test_degenerate_input_rejected_by_default(
+        self, stuck_sensor_file, tmp_path
+    ):
+        with pytest.raises(SystemExit, match="input rejected"):
+            main(
+                ["sample", stuck_sensor_file,
+                 str(tmp_path / "o.xyz"), "-n", "10"]
+            )
+
+    def test_repair_policy_flags_and_continues(
+        self, stuck_sensor_file, tmp_path, capsys
+    ):
+        out_path = str(tmp_path / "o.xyz")
+        assert main(
+            ["sample", stuck_sensor_file, out_path, "-n", "10",
+             "--method", "uniform", "--validation-policy", "repair"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sanitized input" in out
+        assert len(pc_io.load(out_path)) == 10
+
+    def test_guard_passes_on_clean_cloud(
+        self, bunny_file, tmp_path, capsys
+    ):
+        assert main(
+            ["sample", bunny_file, str(tmp_path / "o.xyz"),
+             "--method", "morton", "-n", "100", "--guard"]
+        ) == 0
+        assert "guard:" in capsys.readouterr().out
+
+    def test_guard_falls_back_to_fps(
+        self, bunny_file, tmp_path, capsys
+    ):
+        out_path = str(tmp_path / "o.xyz")
+        assert main(
+            ["sample", bunny_file, out_path, "--method", "morton",
+             "-n", "100", "--guard", "--guard-threshold", "0.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "falling back to exact FPS" in out
+        assert len(pc_io.load(out_path)) == 100
+        # The fallback result is exactly what --method fps produces.
+        fps_path = str(tmp_path / "fps.xyz")
+        main(
+            ["sample", bunny_file, fps_path, "--method", "fps",
+             "-n", "100"]
+        )
+        assert np.allclose(
+            pc_io.load(out_path).xyz, pc_io.load(fps_path).xyz
+        )
+
 
 class TestSweepCommand:
     def test_synthetic_sweep(self, capsys):

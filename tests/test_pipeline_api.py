@@ -84,6 +84,84 @@ class TestEdgePCPipeline:
         assert clouds_per_s == pytest.approx(4 * batches_per_s)
 
 
+class TestPipelineRobustness:
+    def test_record_restores_training_mode(self, rng):
+        """record() must not clobber the mode train() left behind."""
+        model = _pn2(EdgePCConfig.baseline())
+        pipeline = EdgePCPipeline(model)
+        assert model.training
+        pipeline.record(rng.normal(size=(1, 32, 3)))
+        assert model.training
+
+    def test_record_leaves_eval_mode_alone(self, rng):
+        model = _pn2(EdgePCConfig.baseline())
+        model.eval()
+        pipeline = EdgePCPipeline(model)
+        pipeline.record(rng.normal(size=(1, 32, 3)))
+        assert not model.training
+
+    def test_throughput_estimate_typed(self, rng):
+        from repro.pipeline import ThroughputEstimate
+
+        pipeline = EdgePCPipeline(_dgcnn(EdgePCConfig.paper_default()))
+        estimate = pipeline.throughput_estimate(
+            rng.normal(size=(4, 32, 3))
+        )
+        assert isinstance(estimate, ThroughputEstimate)
+        assert estimate.batches_per_second > 0
+        assert estimate.latency_ms == pytest.approx(
+            1e3 / estimate.batches_per_second
+        )
+
+    def test_empty_trace_error(self, rng):
+        from repro.nn.layers import Module
+        from repro.pipeline import EmptyTraceError
+
+        class Idle(Module):
+            def __init__(self):
+                super().__init__()
+                self.edgepc = EdgePCConfig.baseline()
+
+            def forward(self, xyz, recorder=None):
+                return np.zeros((xyz.shape[0], 2))
+
+        pipeline = EdgePCPipeline(Idle())
+        with pytest.raises(EmptyTraceError):
+            pipeline.throughput_estimate(rng.normal(size=(1, 8, 3)))
+        assert issubclass(EmptyTraceError, ValueError)
+
+    def test_infer_rejects_nan_by_default(self, rng):
+        from repro.robustness import CloudValidationError
+
+        pipeline = EdgePCPipeline(_pn2(EdgePCConfig.paper_default()))
+        xyz = rng.normal(size=(1, 32, 3))
+        xyz[0, 3, 1] = np.nan
+        with pytest.raises(CloudValidationError, match="1 of 32"):
+            pipeline.infer(xyz)
+
+    def test_infer_repair_policy_serves_batch(self, rng):
+        from repro.robustness import ValidationPolicy
+
+        pipeline = EdgePCPipeline(
+            _pn2(EdgePCConfig.paper_default()),
+            validation=ValidationPolicy.repair(),
+        )
+        xyz = rng.normal(size=(1, 32, 3))
+        xyz[0, 3, 1] = np.nan
+        result = pipeline.infer(xyz)
+        assert np.isfinite(result.logits).all()
+        assert result.validation[0].n_output == 32
+
+    def test_stage_ops_recorded(self, rng):
+        pipeline = EdgePCPipeline(_pn2(EdgePCConfig.paper_default()))
+        result = pipeline.infer(rng.normal(size=(1, 32, 3)))
+        assert "morton_sort" in result.stage_ops
+        baseline = EdgePCPipeline(_pn2(EdgePCConfig.baseline()))
+        assert "fps" in baseline.infer(
+            rng.normal(size=(1, 32, 3))
+        ).stage_ops
+
+
 class TestSortedGroupingKnob:
     def test_output_unchanged(self, rng):
         """Row-sorting the neighbor indices is semantically a no-op

@@ -168,3 +168,93 @@ class TestStreamingOrder:
     def test_rejects_bad_shape(self):
         with pytest.raises(ValueError):
             StreamingMortonOrder(_box()).insert(np.zeros((3, 2)))
+
+
+class TestStreamingValidation:
+    """The sanitization boundary at StreamingMortonOrder.insert."""
+
+    def test_out_of_box_accepted_by_default(self, rng):
+        """Without a policy box, strays quantize to boundary voxels —
+        the historical behavior."""
+        stream = StreamingMortonOrder(_box())
+        stream.insert(rng.random((20, 3)) * 10.0)
+        stray = np.array([[15.0, -3.0, 25.0]])
+        stream.insert(stray)
+        assert len(stream) == 21
+        assert stream.last_report.ok
+        assert (np.diff(stream.codes) >= 0).all()
+
+    def test_repair_with_box_drops_strays(self, rng):
+        from repro.robustness import ValidationPolicy
+
+        policy = ValidationPolicy.repair(bounding_box=_box())
+        stream = StreamingMortonOrder(_box(), validation=policy)
+        frame = rng.random((20, 3)) * 10.0
+        frame[:5] += 100.0
+        stream.insert(frame)
+        assert len(stream) == 15
+        assert stream.last_report.dropped == 5
+        assert _box().contains(stream.points).all()
+
+    def test_all_stray_frame_is_noop_under_repair(self, rng):
+        from repro.robustness import ValidationPolicy
+
+        policy = ValidationPolicy.repair(bounding_box=_box())
+        stream = StreamingMortonOrder(_box(), validation=policy)
+        stream.insert(rng.random((10, 3)) * 10.0)
+        stream.insert(rng.random((8, 3)) * 10.0 + 100.0)
+        assert len(stream) == 10  # whole frame discarded, no error
+        assert stream.last_report.n_output == 0
+
+    def test_clamp_with_box_clips_strays(self, rng):
+        from repro.robustness import ValidationPolicy
+
+        policy = ValidationPolicy.clamp(bounding_box=_box())
+        stream = StreamingMortonOrder(_box(), validation=policy)
+        frame = rng.random((10, 3)) * 10.0
+        frame[0] = [50.0, -50.0, 5.0]
+        stream.insert(frame)
+        assert len(stream) == 10
+        assert _box().contains(stream.points).all()
+
+    def test_non_finite_insert_rejected_with_count(self, rng):
+        from repro.robustness import CloudValidationError
+
+        stream = StreamingMortonOrder(_box())
+        frame = rng.random((10, 3)) * 10.0
+        frame[2, 1] = np.nan
+        frame[7, 0] = np.inf
+        with pytest.raises(CloudValidationError, match="2 of 10"):
+            stream.insert(frame)
+        assert len(stream) == 0  # stream state untouched
+
+    def test_repair_drops_non_finite_rows(self, rng):
+        from repro.robustness import ValidationPolicy
+
+        stream = StreamingMortonOrder(
+            _box(), validation=ValidationPolicy.repair()
+        )
+        frame = rng.random((10, 3)) * 10.0
+        frame[0, 0] = np.nan
+        stream.insert(frame)
+        assert len(stream) == 9
+        assert np.isfinite(stream.points).all()
+
+    def test_empty_stream_removals_are_noops(self):
+        stream = StreamingMortonOrder(_box())
+        assert stream.remove_outside(_box()) == 0
+        assert stream.remove_oldest_duplicates() == 0
+        assert len(stream) == 0
+        assert stream.maintenance_ops == 0
+
+    def test_zero_point_insert_then_remove(self, rng):
+        stream = StreamingMortonOrder(_box())
+        stream.insert(np.empty((0, 3)))
+        assert stream.last_report is None  # no-op before sanitizing
+        stream.insert(rng.random((5, 3)) * 10.0)
+        stream.insert(np.empty((0, 3)))
+        assert len(stream) == 5
+        removed = stream.remove_outside(
+            BoundingBox(np.zeros(3) - 1.0, np.ones(3) * 11.0)
+        )
+        assert removed == 0
