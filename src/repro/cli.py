@@ -12,14 +12,27 @@ Commands:
 - ``sweep``    — the Fig. 15a window-size sensitivity table on a file
   or a synthetic cloud;
 - ``report``   — the one-shot headline summary: Fig. 3 breakdown,
-  Fig. 13 speedups/energy for all configs, and Table 2.
+  Fig. 13 speedups/energy for all configs, and Table 2;
+- ``trace``    — run a traced workload smoke and export Chrome
+  ``trace_event`` / JSONL spans, a metrics snapshot, a merged run
+  report, and a BENCH per-stage-medians file;
+- ``metrics``  — print the metrics snapshot of a workload smoke in
+  Prometheus text or JSON form.
+
+``profile``, ``compare``, and ``sample`` additionally accept
+``--trace-out`` / ``--metrics-out`` to export the telemetry of that
+invocation; ``sample`` runs without positional arguments on a seeded
+synthetic cloud, and with ``--guard`` it runs a guarded demo inference
+and prints the degradation log and per-stage breaker states.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -27,6 +40,13 @@ from repro.analysis import format_breakdown_row, format_comparison_row
 from repro.core import EdgePCConfig, MortonSampler
 from repro.core.dse import explore_window_sizes
 from repro.geometry import io as pc_io
+from repro.observability import (
+    MetricsRegistry,
+    NULL_TRACER,
+    RunReport,
+    Tracer,
+    emit_stage_spans,
+)
 from repro.runtime import PipelineProfiler, compare
 from repro.sampling import farthest_point_sample, uniform_sample
 from repro.workloads import standard_workloads, trace
@@ -51,6 +71,93 @@ def _resolve_workloads(name: str):
     return {name: specs[name]}
 
 
+# Telemetry plumbing ---------------------------------------------------------
+
+
+def _telemetry(args) -> Tuple[Tracer, MetricsRegistry]:
+    """Tracer/registry pair for one CLI invocation.
+
+    The tracer is enabled only when the invocation exports somewhere
+    (``--trace-out``), so un-instrumented runs stay on the no-op path.
+    """
+    wants_trace = bool(getattr(args, "trace_out", None))
+    tracer = Tracer() if wants_trace else NULL_TRACER
+    return tracer, MetricsRegistry()
+
+
+def _export_telemetry(args, tracer: Tracer, registry) -> None:
+    if getattr(args, "trace_out", None):
+        tracer.export_chrome(args.trace_out)
+        print(f"wrote Chrome trace -> {args.trace_out}")
+    if getattr(args, "metrics_out", None):
+        registry.export_json(args.metrics_out)
+        print(f"wrote metrics snapshot -> {args.metrics_out}")
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome trace_event file of this run "
+        "(open in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the JSON metrics snapshot of this run",
+    )
+
+
+def _record_workload_metrics(
+    registry, workload: str, breakdown, energy, recorder
+) -> None:
+    """Fold one priced workload trace into the registry (mirrors the
+    metric names :class:`~repro.pipeline.EdgePCPipeline` emits)."""
+    registry.counter(
+        "pipeline_batches_total", workload=workload
+    ).inc()
+    for stage, seconds in (
+        ("sample", breakdown.sample_s),
+        ("neighbor_search", breakdown.neighbor_s),
+        ("grouping", breakdown.grouping_s),
+        ("feature_compute", breakdown.feature_s),
+    ):
+        registry.histogram(
+            "pipeline_stage_latency_seconds", stage=stage
+        ).observe(seconds)
+    registry.histogram("pipeline_batch_latency_seconds").observe(
+        breakdown.total_s
+    )
+    registry.counter("pipeline_energy_joules_total").inc(
+        energy.total_j
+    )
+    reuse_hits = sum(1 for e in recorder if e.op == "reuse")
+    if reuse_hits:
+        registry.counter("neighbor_reuse_hits_total").inc(reuse_hits)
+
+
+def _smoke_workloads(
+    workload: str, config_label: str, tracer: Tracer, registry
+):
+    """Price the selected Table 1 workloads under one config, emitting
+    spans and metrics; returns ``[(name, breakdown, energy)]``."""
+    config = CONFIGS[config_label]()
+    profiler = PipelineProfiler()
+    results = []
+    for name, spec in _resolve_workloads(workload).items():
+        with tracer.span(f"workload.{name}", "workload") as span:
+            recorder = trace(spec, config)
+            breakdown = profiler.breakdown(recorder, config)
+            energy = profiler.energy(recorder, config)
+            span.set("config", config_label)
+            span.set("ops", len(recorder))
+            span.add_cost(breakdown.total_s)
+        emit_stage_spans(tracer, breakdown)
+        _record_workload_metrics(
+            registry, name, breakdown, energy, recorder
+        )
+        results.append((name, breakdown, energy))
+    return results
+
+
 def cmd_workloads(args: argparse.Namespace) -> int:
     print(
         f"{'Workload':<10}{'Model':<12}{'Dataset':<13}"
@@ -66,15 +173,17 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    config = CONFIGS[args.config]()
-    profiler = PipelineProfiler()
-    for name, spec in _resolve_workloads(args.workload).items():
-        breakdown = profiler.breakdown(trace(spec, config), config)
+    tracer, registry = _telemetry(args)
+    results = _smoke_workloads(
+        args.workload, args.config, tracer, registry
+    )
+    for name, breakdown, _ in results:
         print(
             format_breakdown_row(
                 f"{name} ({args.config})", breakdown
             )
         )
+    _export_telemetry(args, tracer, registry)
     return 0
 
 
@@ -83,15 +192,98 @@ def cmd_compare(args: argparse.Namespace) -> int:
     optimized = CONFIGS[args.config]()
     if optimized.is_baseline:
         raise SystemExit("compare needs a non-baseline --config")
+    tracer, registry = _telemetry(args)
     profiler = PipelineProfiler()
     for name, spec in _resolve_workloads(args.workload).items():
-        report = compare(
-            profiler,
-            trace(spec, baseline), baseline,
-            trace(spec, optimized), optimized,
-        )
+        with tracer.span(f"compare.{name}", "workload") as span:
+            report = compare(
+                profiler,
+                trace(spec, baseline), baseline,
+                trace(spec, optimized), optimized,
+            )
+            span.set("config", args.config)
+            span.add_cost(report.optimized.total_s)
+        emit_stage_spans(tracer, report.optimized)
+        registry.gauge(
+            "compare_end_to_end_speedup", workload=name
+        ).set(report.end_to_end_speedup)
+        registry.gauge(
+            "compare_energy_saving_fraction", workload=name
+        ).set(report.energy_saving_fraction)
         print(format_comparison_row(name, report))
+    _export_telemetry(args, tracer, registry)
     return 0
+
+
+def _guarded_demo(
+    cloud_xyz: np.ndarray,
+    tracer: Tracer,
+    registry,
+    guard: bool,
+    seed: int,
+) -> None:
+    """Traced demo inference for ``sample --trace-out/--metrics-out``:
+    streams the cloud through a :class:`StreamingMortonOrder`, then
+    runs one (optionally guarded) profiled batch through a small
+    PointNet++ pipeline so the exported trace carries the full
+    sample/neighbor/grouping/feature stage timeline."""
+    from repro.core.streaming import StreamingMortonOrder
+    from repro.geometry.bbox import BoundingBox
+    from repro.nn import PointNet2Segmentation, SAConfig
+    from repro.pipeline import EdgePCPipeline
+    from repro.robustness.guard import GuardedPipeline
+
+    # Touch the headline counters so the snapshot always carries the
+    # guard/validation/streaming series, even when they stayed at 0.
+    registry.counter("validation_repairs_total")
+    registry.counter("validation_rejects_total")
+    registry.counter("guard_rejections_total")
+    registry.counter("streaming_evictions_total")
+
+    with tracer.span("demo.stream", "streaming") as span:
+        margin = 1e-6
+        box = BoundingBox(
+            cloud_xyz.min(axis=0) - margin,
+            cloud_xyz.max(axis=0) + margin,
+        )
+        stream = StreamingMortonOrder(box, metrics=registry)
+        for chunk in np.array_split(cloud_xyz, 4):
+            stream.insert(chunk)
+        stream.remove_oldest_duplicates()
+        span.set("points", len(stream))
+
+    model = PointNet2Segmentation(
+        num_classes=4,
+        sa_configs=(
+            SAConfig(0.5, 4, 1.5, (8, 8)),
+            SAConfig(0.5, 4, 3.0, (16, 16)),
+        ),
+        edgepc=EdgePCConfig.paper_default(),
+        head_hidden=8,
+        rng=np.random.default_rng(seed),
+    )
+    pipeline = EdgePCPipeline(model, tracer=tracer, metrics=registry)
+    batch = stream.points[: min(128, len(stream))][None, :, :]
+    if not guard:
+        pipeline.infer(batch)
+        return
+    guarded = GuardedPipeline(pipeline, seed=seed)
+    result = guarded.infer(batch)
+    states = " ".join(
+        f"{stage}={state}"
+        for stage, state in guarded.breaker_states.items()
+    )
+    print(f"guard: breaker states: {states}")
+    if guarded.degradation_log:
+        print("guard: degradation log:")
+        for entry in guarded.degradation_log:
+            print(f"guard:   {entry}")
+    else:
+        print("guard: degradation log: empty (no fallbacks)")
+    if result.rejected:
+        print(
+            f"guard: demo batch rejected: {result.rejection_reason}"
+        )
 
 
 def cmd_sample(args: argparse.Namespace) -> int:
@@ -102,7 +294,17 @@ def cmd_sample(args: argparse.Namespace) -> int:
         sanitize_cloud,
     )
 
-    cloud = pc_io.load(args.input)
+    tracer, registry = _telemetry(args)
+    wants_telemetry = bool(args.trace_out or args.metrics_out)
+    if args.input:
+        cloud = pc_io.load(args.input)
+    else:
+        rng = np.random.default_rng(args.seed)
+        cloud = PointCloud(rng.random((args.points, 3)))
+        print(
+            f"no input file; sampling a synthetic cloud of "
+            f"{len(cloud)} points (seed {args.seed})"
+        )
     policy = ValidationPolicy(
         on_invalid=args.validation_policy,
         min_points=args.num_samples,
@@ -124,36 +326,59 @@ def cmd_sample(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"--num-samples must be in [1, {len(cloud)}]"
         )
-    if args.method == "fps":
-        indices = farthest_point_sample(cloud.xyz, n, start_index=0)
-    elif args.method == "morton":
-        indices = MortonSampler().sample(cloud.xyz, n).indices
-        if args.guard:
-            from repro.sampling.quality import density_uniformity
+    with tracer.span("cli.sample", "cli") as span:
+        span.set("method", args.method)
+        span.set("num_samples", n)
+        if args.method == "fps":
+            indices = farthest_point_sample(
+                cloud.xyz, n, start_index=0
+            )
+        elif args.method == "morton":
+            indices = MortonSampler().sample(cloud.xyz, n).indices
+            if args.guard:
+                from repro.sampling.quality import density_uniformity
 
-            cv = density_uniformity(cloud.xyz, indices)
-            if cv > args.guard_threshold:
-                print(
-                    f"guard: Morton sample density CV {cv:.2f} "
-                    f"exceeds {args.guard_threshold:.2f}; "
-                    "falling back to exact FPS"
-                )
-                indices = farthest_point_sample(
-                    cloud.xyz, n, start_index=0
-                )
-            else:
-                print(
-                    f"guard: Morton sample density CV {cv:.2f} "
-                    f"within {args.guard_threshold:.2f}"
-                )
-    else:
-        indices = uniform_sample(cloud.xyz, n)
+                cv = density_uniformity(cloud.xyz, indices)
+                registry.gauge(
+                    "guard_probe_score", stage="sampling"
+                ).set(cv)
+                if cv > args.guard_threshold:
+                    print(
+                        f"guard: Morton sample density CV {cv:.2f} "
+                        f"exceeds {args.guard_threshold:.2f}; "
+                        "falling back to exact FPS"
+                    )
+                    registry.counter(
+                        "guard_fallbacks_total",
+                        stage="sampling", reason="probe_tripped",
+                    ).inc()
+                    indices = farthest_point_sample(
+                        cloud.xyz, n, start_index=0
+                    )
+                else:
+                    print(
+                        f"guard: Morton sample density CV {cv:.2f} "
+                        f"within {args.guard_threshold:.2f}"
+                    )
+        else:
+            indices = uniform_sample(cloud.xyz, n)
     sampled = cloud.select(indices)
-    pc_io.save(sampled, args.output)
-    print(
-        f"sampled {n} of {len(cloud)} points with {args.method} -> "
-        f"{args.output}"
-    )
+    if args.output:
+        pc_io.save(sampled, args.output)
+        print(
+            f"sampled {n} of {len(cloud)} points with "
+            f"{args.method} -> {args.output}"
+        )
+    else:
+        print(
+            f"sampled {n} of {len(cloud)} points with "
+            f"{args.method} (no output file given; result not saved)"
+        )
+    if wants_telemetry:
+        _guarded_demo(
+            cloud.xyz, tracer, registry, args.guard, args.seed
+        )
+        _export_telemetry(args, tracer, registry)
     return 0
 
 
@@ -220,6 +445,76 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Traced workload smoke with every exporter behind one command."""
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    results = _smoke_workloads(
+        args.workload, args.config, tracer, registry
+    )
+    spans = tracer.finished()
+    print(
+        f"traced {len(results)} workload(s) under {args.config}: "
+        f"{len(spans)} spans, {len(registry)} metric series"
+    )
+    if args.trace_out:
+        tracer.export_chrome(args.trace_out)
+        print(f"wrote Chrome trace -> {args.trace_out}")
+    if args.jsonl_out:
+        tracer.export_jsonl(args.jsonl_out)
+        print(f"wrote span JSONL -> {args.jsonl_out}")
+    if args.metrics_out:
+        registry.export_json(args.metrics_out)
+        print(f"wrote metrics snapshot -> {args.metrics_out}")
+    report = RunReport.build(
+        tracer=tracer,
+        metrics=registry,
+        breakdowns=[b for _, b, _ in results],
+        energies=[e for _, _, e in results],
+        command="trace",
+        workload=args.workload,
+        config=args.config,
+    )
+    if args.report_out:
+        report.save(args.report_out)
+        print(f"wrote run report -> {args.report_out}")
+    if args.bench_out:
+        bench = {
+            "bench": "observability_smoke",
+            "config": args.config,
+            "workloads": [name for name, _, _ in results],
+            "stage_medians_s": report.stage_medians_s(),
+        }
+        with open(args.bench_out, "w") as fh:
+            json.dump(bench, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote BENCH medians -> {args.bench_out}")
+    for stage, seconds in report.stage_medians_s().items():
+        print(f"  median {stage:<12} {seconds * 1e3:9.2f} ms")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Print the metrics snapshot of a workload smoke run."""
+    registry = MetricsRegistry()
+    _smoke_workloads(args.workload, args.config, NULL_TRACER, registry)
+    if args.format == "prometheus":
+        text = registry.to_prometheus()
+    else:
+        text = json.dumps(
+            registry.snapshot(), indent=1, sort_keys=True
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+            if not text.endswith("\n"):
+                fh.write("\n")
+        print(f"wrote metrics -> {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -238,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--config", default="baseline", choices=sorted(CONFIGS)
     )
+    _add_telemetry_flags(profile)
     profile.set_defaults(func=cmd_profile)
 
     comp = sub.add_parser(
@@ -247,19 +543,35 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument(
         "--config", default="edgepc", choices=sorted(CONFIGS)
     )
+    _add_telemetry_flags(comp)
     comp.set_defaults(func=cmd_compare)
 
     sample = sub.add_parser(
-        "sample", help="down-sample a .ply/.xyz point cloud"
+        "sample", help="down-sample a .ply/.xyz point cloud "
+        "(or a synthetic one when no input file is given)"
     )
-    sample.add_argument("input")
-    sample.add_argument("output")
+    sample.add_argument(
+        "input", nargs="?", default=None,
+        help="input cloud; omit to sample a seeded synthetic cloud",
+    )
+    sample.add_argument(
+        "output", nargs="?", default=None,
+        help="output file; omit to skip saving the sampled cloud",
+    )
     sample.add_argument(
         "--method", default="morton",
         choices=("fps", "morton", "uniform"),
     )
     sample.add_argument(
         "-n", "--num-samples", type=int, default=1024
+    )
+    sample.add_argument(
+        "--points", type=int, default=2048,
+        help="synthetic cloud size when no input file is given",
+    )
+    sample.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the synthetic cloud and the guarded demo",
     )
     sample.add_argument(
         "--validation-policy", default="reject",
@@ -275,6 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--guard-threshold", type=float, default=1.5,
         help="density-uniformity CV above which --guard trips",
     )
+    _add_telemetry_flags(sample)
     sample.set_defaults(func=cmd_sample)
 
     sweep = sub.add_parser(
@@ -289,12 +602,63 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "report", help="one-shot headline summary of all experiments"
     ).set_defaults(func=cmd_report)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="traced workload smoke: Chrome trace, metrics snapshot, "
+        "run report, BENCH medians",
+    )
+    trace_cmd.add_argument("--workload", default="all")
+    trace_cmd.add_argument(
+        "--config", default="edgepc", choices=sorted(CONFIGS)
+    )
+    _add_telemetry_flags(trace_cmd)
+    trace_cmd.add_argument(
+        "--jsonl-out", default=None, metavar="FILE",
+        help="write one JSON span record per line",
+    )
+    trace_cmd.add_argument(
+        "--report-out", default=None, metavar="FILE",
+        help="write the merged RunReport (spans+metrics+breakdowns)",
+    )
+    trace_cmd.add_argument(
+        "--bench-out", default=None, metavar="FILE",
+        help="write per-stage latency medians "
+        "(BENCH_observability.json)",
+    )
+    trace_cmd.set_defaults(func=cmd_trace)
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="metrics snapshot of a workload smoke "
+        "(Prometheus text or JSON)",
+    )
+    metrics_cmd.add_argument("--workload", default="all")
+    metrics_cmd.add_argument(
+        "--config", default="edgepc", choices=sorted(CONFIGS)
+    )
+    metrics_cmd.add_argument(
+        "--format", default="prometheus",
+        choices=("prometheus", "json"),
+    )
+    metrics_cmd.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write to a file instead of stdout",
+    )
+    metrics_cmd.set_defaults(func=cmd_metrics)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout was piped into a consumer that exited early
+        # (`repro metrics | head`); mute the late flush and exit clean.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -63,10 +63,17 @@ class NeighborReusePolicy:
 
 
 class NeighborCache:
-    """Holds the most recently computed neighbor-index matrix."""
+    """Holds the most recently computed neighbor-index matrix.
+
+    ``stores`` and ``hits`` count lifetime traffic (a hit is one
+    :meth:`load` of a populated cache); the observability layer scrapes
+    them into the ``neighbor_reuse_hits_total`` metric.
+    """
 
     def __init__(self) -> None:
         self._indices: Optional[np.ndarray] = None
+        self.stores = 0
+        self.hits = 0
 
     @property
     def is_empty(self) -> bool:
@@ -79,10 +86,12 @@ class NeighborCache:
                 "neighbor index matrix must be (Q, k) or (B, Q, k)"
             )
         self._indices = indices
+        self.stores += 1
 
     def load(self) -> np.ndarray:
         if self._indices is None:
             raise RuntimeError("neighbor cache is empty; nothing to reuse")
+        self.hits += 1
         return self._indices
 
     def clear(self) -> None:

@@ -24,6 +24,7 @@ from repro.core import morton
 from repro.core.structurize import MortonOrder
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.voxel import VoxelGrid
+from repro.observability.metrics import MetricsRegistry
 from repro.robustness.validate import (
     CloudValidationError,
     ValidationPolicy,
@@ -44,6 +45,11 @@ class StreamingMortonOrder:
             to the scene-boundary voxels exactly as before.  Pass a
             policy with ``bounding_box`` set (usually the scene box)
             to drop (``repair``) or clip (``clamp``) strays instead.
+        metrics: optional
+            :class:`~repro.observability.metrics.MetricsRegistry`;
+            when given, inserts, insert/evict point counts,
+            maintenance ops, and the current size/scratch-resort cost
+            are kept as ``streaming_*`` counters and gauges.
 
     The object stores points in sorted order internally;
     :attr:`points` exposes them, and :meth:`as_order` materializes a
@@ -55,10 +61,12 @@ class StreamingMortonOrder:
         bounding_box: BoundingBox,
         code_bits: int = morton.DEFAULT_CODE_BITS,
         validation: Optional[ValidationPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         per_axis = morton.bits_per_axis(code_bits)
         self.code_bits = code_bits
         self.validation = validation or ValidationPolicy()
+        self.metrics = metrics
         self.grid = VoxelGrid.for_box(bounding_box, per_axis)
         self._points = np.empty((0, 3), dtype=np.float64)
         self._codes = np.empty(0, dtype=np.int64)
@@ -68,6 +76,19 @@ class StreamingMortonOrder:
         #: Sort work performed so far, in merge-equivalent element ops
         #: (for comparing against from-scratch re-sorts).
         self.maintenance_ops = 0
+
+    def _update_gauges(self) -> None:
+        registry = self.metrics
+        if registry is None:
+            return
+        registry.gauge("streaming_points").set(len(self))
+        registry.gauge("streaming_scratch_resort_ops").set(
+            self.scratch_resort_ops()
+        )
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None and amount:
+            self.metrics.counter(name).inc(amount)
 
     def __len__(self) -> int:
         return self._points.shape[0]
@@ -94,6 +115,7 @@ class StreamingMortonOrder:
             )
         if new_points.shape[0] == 0:
             return
+        offered = new_points.shape[0]
         try:
             new_points, self.last_report = sanitize_cloud(
                 new_points, self.validation
@@ -107,9 +129,11 @@ class StreamingMortonOrder:
                 # was a stray outside the scene box): a no-op insert,
                 # not an error.
                 self.last_report = err.report
+                self._count("streaming_points_dropped_total", offered)
                 return
             raise
         if new_points.shape[0] == 0:
+            self._count("streaming_points_dropped_total", offered)
             return
         new_codes = morton.encode(self.grid.voxelize(new_points))
         block_order = np.argsort(new_codes, kind="stable")
@@ -123,9 +147,13 @@ class StreamingMortonOrder:
             self._points, positions, new_points, axis=0
         )
         m = new_points.shape[0]
-        self.maintenance_ops += int(
-            m * max(1, np.log2(max(m, 2))) + len(self)
-        )
+        merge_ops = int(m * max(1, np.log2(max(m, 2))) + len(self))
+        self.maintenance_ops += merge_ops
+        self._count("streaming_inserts_total")
+        self._count("streaming_points_inserted_total", m)
+        self._count("streaming_points_dropped_total", offered - m)
+        self._count("streaming_maintenance_ops_total", merge_ops)
+        self._update_gauges()
 
     def remove_outside(self, box: BoundingBox) -> int:
         """Drop points outside ``box`` (scene scrolling); returns the
@@ -136,6 +164,9 @@ class StreamingMortonOrder:
             self._points = self._points[keep]
             self._codes = self._codes[keep]
             self.maintenance_ops += len(keep)
+            self._count("streaming_evictions_total", removed)
+            self._count("streaming_maintenance_ops_total", len(keep))
+            self._update_gauges()
         return removed
 
     def remove_oldest_duplicates(self) -> int:
@@ -153,6 +184,11 @@ class StreamingMortonOrder:
             self._points = self._points[last_of_run]
             self._codes = self._codes[last_of_run]
             self.maintenance_ops += len(last_of_run)
+            self._count("streaming_evictions_total", removed)
+            self._count(
+                "streaming_maintenance_ops_total", len(last_of_run)
+            )
+            self._update_gauges()
         return removed
 
     def as_order(self) -> MortonOrder:

@@ -1,0 +1,64 @@
+"""Runtime telemetry: tracing, metrics, and exportable run reports.
+
+Three cooperating pieces, all zero-dependency and thread-safe:
+
+- :class:`Tracer` — hierarchical wall-clock + simulated-cost spans
+  with JSONL and Chrome ``trace_event`` exporters
+  (:mod:`repro.observability.tracing`);
+- :class:`MetricsRegistry` — counters, gauges, and fixed-bucket
+  histograms with Prometheus-text and JSON snapshot exporters
+  (:mod:`repro.observability.metrics`);
+- :class:`RunReport` — merges spans, metrics, and the profiler's
+  breakdown/energy reports into one serializable run summary
+  (:mod:`repro.observability.report`).
+
+Instrumented call sites (:class:`~repro.pipeline.EdgePCPipeline`,
+:class:`~repro.robustness.guard.GuardedPipeline`,
+:class:`~repro.core.streaming.StreamingMortonOrder`,
+:class:`~repro.train.trainer.Trainer`) accept optional
+``tracer``/``metrics`` arguments and default to the no-op
+:data:`NULL_TRACER` / ``None``, so the hot paths stay allocation-free
+when telemetry is off.
+"""
+
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    parse_prometheus,
+    reset_global_registry,
+)
+from repro.observability.report import (
+    RunReport,
+    breakdown_to_dict,
+    energy_to_dict,
+)
+from repro.observability.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    emit_stage_spans,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "RunReport",
+    "Span",
+    "Tracer",
+    "breakdown_to_dict",
+    "emit_stage_spans",
+    "energy_to_dict",
+    "global_registry",
+    "parse_prometheus",
+    "reset_global_registry",
+]

@@ -1,0 +1,316 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a thread-safe, zero-dependency metric
+store modelled on the Prometheus client data model, sized for this
+library's needs: instruments are created on first use
+(``registry.counter("guard_trips_total", stage="sampling").inc()``),
+identified by name plus a sorted label set, and exported either as a
+JSON snapshot (:meth:`MetricsRegistry.snapshot`) or as Prometheus text
+exposition (:meth:`MetricsRegistry.to_prometheus`).
+
+The instrumented hot paths (pipeline, guard, streaming) all take an
+``Optional[MetricsRegistry]`` and skip every metric update when it is
+``None``, so metrics — like tracing — are off-by-default-cheap.  A
+process-wide default registry is available through
+:func:`global_registry` for CLI commands and long-lived services.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+#: Default latency buckets (seconds), Prometheus-style.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(items: LabelItems, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in items]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches
+    the tail.  ``counts[i]`` is *non-cumulative* internally and
+    cumulated at export time.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        lock: threading.Lock,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a sorted non-empty tuple")
+        self._lock = lock
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def cumulative_counts(self) -> List[int]:
+        total = 0
+        out = []
+        for c in self.counts:
+            total += c
+            out.append(total)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (0 with no samples).
+
+        The tail (+Inf) bucket reports its lower bound — the estimate
+        saturates at the largest finite bucket boundary.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            target = q * self.count
+            cumulative = 0
+            for i, c in enumerate(self.counts):
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                upper = (
+                    self.buckets[i]
+                    if i < len(self.buckets)
+                    else self.buckets[-1]
+                )
+                if cumulative + c >= target:
+                    if c == 0 or i >= len(self.buckets):
+                        return upper
+                    frac = (target - cumulative) / c
+                    return lower + (upper - lower) * frac
+                cumulative += c
+            return self.buckets[-1]
+
+    @property
+    def value(self) -> float:
+        return self.sum
+
+
+class MetricsRegistry:
+    """Thread-safe named-instrument store with two exporters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, LabelItems], object] = {}
+
+    def _get(self, name: str, labels: Dict[str, str], factory, kind):
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = self._metrics[key] = factory()
+            elif metric.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.kind}, not {kind}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(
+            name, labels, lambda: Counter(self._lock), "counter"
+        )
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(
+            name, labels, lambda: Gauge(self._lock), "gauge"
+        )
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get(
+            name, labels,
+            lambda: Histogram(self._lock, buckets), "histogram",
+        )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    # Exporters -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable dump of every instrument.
+
+        ``{"metrics": [{"name", "kind", "labels", ...payload}]}``,
+        sorted by (name, labels) so snapshots diff cleanly.
+        """
+        with self._lock:
+            items = sorted(self._metrics.items())
+        out: List[Dict[str, object]] = []
+        for (name, labels), metric in items:
+            entry: Dict[str, object] = {
+                "name": name,
+                "kind": metric.kind,
+                "labels": dict(labels),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["counts"] = list(metric.counts)
+                entry["sum"] = metric.sum
+                entry["count"] = metric.count
+            else:
+                entry["value"] = metric.value
+            out.append(entry)
+        return {"metrics": out}
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        registry = cls()
+        for entry in data["metrics"]:
+            labels = dict(entry["labels"])
+            kind = entry["kind"]
+            if kind == "counter":
+                registry.counter(entry["name"], **labels).inc(
+                    entry["value"]
+                )
+            elif kind == "gauge":
+                registry.gauge(entry["name"], **labels).set(
+                    entry["value"]
+                )
+            elif kind == "histogram":
+                hist = registry.histogram(
+                    entry["name"], tuple(entry["buckets"]), **labels
+                )
+                hist.counts = list(entry["counts"])
+                hist.sum = entry["sum"]
+                hist.count = entry["count"]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+        return registry
+
+    def export_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.snapshot(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (v0.0.4)."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        lines: List[str] = []
+        seen_types = set()
+        for (name, labels), metric in items:
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} {metric.kind}")
+                seen_types.add(name)
+            if isinstance(metric, Histogram):
+                cumulative = metric.cumulative_counts()
+                bounds = [repr(b) for b in metric.buckets] + ["+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    label_str = _format_labels(
+                        labels, f'le="{bound}"'
+                    )
+                    lines.append(f"{name}_bucket{label_str} {count}")
+                label_str = _format_labels(labels)
+                lines.append(f"{name}_sum{label_str} {metric.sum!r}")
+                lines.append(f"{name}_count{label_str} {metric.count}")
+            else:
+                label_str = _format_labels(labels)
+                lines.append(f"{name}{label_str} {metric.value!r}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse :meth:`MetricsRegistry.to_prometheus` output back into a
+    flat ``{"name{labels}": value}`` map (for round-trip tests and
+    quick assertions; not a general Prometheus parser)."""
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, raw = line.rpartition(" ")
+        samples[key] = float(raw)
+    return samples
+
+
+_GLOBAL = MetricsRegistry()
+_GLOBAL_LOCK = threading.Lock()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL
+
+
+def reset_global_registry() -> MetricsRegistry:
+    """Swap in a fresh global registry (tests, CLI runs); returns it."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        _GLOBAL = MetricsRegistry()
+        return _GLOBAL

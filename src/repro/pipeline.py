@@ -21,7 +21,14 @@ from repro.core.pipeline import EdgePCConfig
 from repro.nn.autograd import Tensor, no_grad
 from repro.nn.layers import Module
 from repro.nn.recorder import StageRecorder
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import (
+    NULL_TRACER,
+    Tracer,
+    emit_stage_spans,
+)
 from repro.robustness.validate import (
+    CloudValidationError,
     ValidationPolicy,
     ValidationReport,
     sanitize_batch,
@@ -59,6 +66,10 @@ class ThroughputEstimate(NamedTuple):
 
     @property
     def latency_ms(self) -> float:
+        """Milliseconds per batch; ``inf`` at zero throughput (a rate
+        of 0 means the batch never completes, not a crash)."""
+        if self.batches_per_second == 0:
+            return float("inf")
         return 1e3 / self.batches_per_second
 
 
@@ -100,6 +111,14 @@ class EdgePCPipeline:
             strict ``reject`` policy (raise
             :class:`~repro.robustness.validate.CloudValidationError`
             on NaN/Inf, undersized, or malformed input).
+        tracer: optional :class:`~repro.observability.tracing.Tracer`;
+            every inference becomes a ``pipeline.infer`` span with
+            validate/forward children plus simulated per-stage spans.
+            Defaults to the no-op tracer (zero per-batch allocation).
+        metrics: optional
+            :class:`~repro.observability.metrics.MetricsRegistry`;
+            when given, batch counts, per-stage latency histograms,
+            and validation repair/reject counters are recorded.
     """
 
     def __init__(
@@ -108,6 +127,8 @@ class EdgePCPipeline:
         config: Optional[EdgePCConfig] = None,
         device: Optional[DeviceSpec] = None,
         validation: Optional[ValidationPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         config = config if config is not None else getattr(
             model, "edgepc", None
@@ -120,50 +141,130 @@ class EdgePCPipeline:
         self.config = config
         self.profiler = PipelineProfiler(device)
         self.validation = validation or ValidationPolicy()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+
+    def _count_validation(
+        self, reports: List[ValidationReport]
+    ) -> None:
+        """Fold sanitization outcomes into the metrics registry."""
+        registry = self.metrics
+        if registry is None:
+            return
+        for report in reports:
+            for issue in report.issues:
+                registry.counter(
+                    "validation_issues_total",
+                    kind=issue.kind, action=issue.action,
+                ).inc(issue.count)
+            # sanitize_batch pads repaired clouds back to N, so
+            # `report.dropped` is 0 here; a repair is any issue the
+            # sanitizer acted on rather than just flagged.
+            if any(
+                issue.action in ("dropped", "clamped")
+                for issue in report.issues
+            ):
+                registry.counter("validation_repairs_total").inc()
 
     def _sanitize(
         self, xyz: np.ndarray
     ) -> Tuple[np.ndarray, List[ValidationReport]]:
-        return sanitize_batch(
-            np.asarray(xyz, dtype=np.float64), self.validation
-        )
+        try:
+            xyz, reports = sanitize_batch(
+                np.asarray(xyz, dtype=np.float64), self.validation
+            )
+        except CloudValidationError:
+            if self.metrics is not None:
+                self.metrics.counter("validation_rejects_total").inc()
+            raise
+        self._count_validation(reports)
+        return xyz, reports
 
-    def infer(self, xyz: np.ndarray) -> InferenceResult:
-        """Sanitize and run one batch in eval mode, and profile it."""
-        xyz, reports = self._sanitize(xyz)
-        recorder = StageRecorder()
+    def _forward(self, xyz: np.ndarray, recorder: StageRecorder):
+        """One eval-mode forward pass, training mode restored after."""
         was_training = self.model.training
         self.model.eval()
         try:
-            with no_grad():
-                logits = self.model(xyz, recorder=recorder)
+            with self.tracer.span("pipeline.forward", "pipeline"):
+                with no_grad():
+                    return self.model(xyz, recorder=recorder)
         finally:
             if was_training:
                 self.model.train()
-        data = (
-            logits.numpy() if isinstance(logits, Tensor) else logits
+
+    def infer(self, xyz: np.ndarray) -> InferenceResult:
+        """Sanitize and run one batch in eval mode, and profile it."""
+        tracer = self.tracer
+        with tracer.span("pipeline.infer", "pipeline") as span:
+            with tracer.span("pipeline.validate", "pipeline"):
+                xyz, reports = self._sanitize(xyz)
+            recorder = StageRecorder()
+            logits = self._forward(xyz, recorder)
+            data = (
+                logits.numpy() if isinstance(logits, Tensor) else logits
+            )
+            breakdown = self.profiler.breakdown(recorder, self.config)
+            energy = self.profiler.energy(recorder, self.config)
+            span.set("batch", int(xyz.shape[0]))
+            span.set("points", int(xyz.shape[1]))
+            span.set("ops", len(recorder))
+            span.add_cost(breakdown.total_s)
+            emit_stage_spans(tracer, breakdown)
+            self._record_batch_metrics(
+                xyz.shape[0], breakdown, energy, recorder
+            )
+            return InferenceResult(
+                logits=data,
+                predictions=data.argmax(axis=-1),
+                breakdown=breakdown,
+                energy=energy,
+                stage_ops=tuple(recorder.op_names()),
+                validation=tuple(reports),
+            )
+
+    def _record_batch_metrics(
+        self,
+        batch: int,
+        breakdown: StageBreakdown,
+        energy: EnergyReport,
+        recorder: StageRecorder,
+    ) -> None:
+        registry = self.metrics
+        if registry is None:
+            return
+        reuse_hits = sum(1 for e in recorder if e.op == "reuse")
+        if reuse_hits:
+            registry.counter("neighbor_reuse_hits_total").inc(
+                reuse_hits
+            )
+        registry.counter("pipeline_batches_total").inc()
+        registry.counter("pipeline_clouds_total").inc(batch)
+        for stage, seconds in (
+            ("sample", breakdown.sample_s),
+            ("neighbor_search", breakdown.neighbor_s),
+            ("grouping", breakdown.grouping_s),
+            ("feature_compute", breakdown.feature_s),
+        ):
+            registry.histogram(
+                "pipeline_stage_latency_seconds", stage=stage
+            ).observe(seconds)
+        registry.histogram(
+            "pipeline_batch_latency_seconds"
+        ).observe(breakdown.total_s)
+        registry.counter("pipeline_simulated_seconds_total").inc(
+            breakdown.total_s
         )
-        return InferenceResult(
-            logits=data,
-            predictions=data.argmax(axis=-1),
-            breakdown=self.profiler.breakdown(recorder, self.config),
-            energy=self.profiler.energy(recorder, self.config),
-            stage_ops=tuple(recorder.op_names()),
-            validation=tuple(reports),
+        registry.counter("pipeline_energy_joules_total").inc(
+            energy.total_j
         )
 
     def record(self, xyz: np.ndarray) -> StageRecorder:
         """Run one batch and return the raw stage trace."""
-        xyz, _ = self._sanitize(xyz)
-        recorder = StageRecorder()
-        was_training = self.model.training
-        self.model.eval()
-        try:
-            with no_grad():
-                self.model(xyz, recorder=recorder)
-        finally:
-            if was_training:
-                self.model.train()
+        with self.tracer.span("pipeline.record", "pipeline") as span:
+            xyz, _ = self._sanitize(xyz)
+            recorder = StageRecorder()
+            self._forward(xyz, recorder)
+            span.set("ops", len(recorder))
         return recorder
 
     def compare_with(
@@ -171,11 +272,12 @@ class EdgePCPipeline:
     ) -> ComparisonReport:
         """Fig. 13-style comparison of this pipeline vs a baseline on
         the same input batch."""
-        return compare(
-            self.profiler,
-            baseline.record(xyz), baseline.config,
-            self.record(xyz), self.config,
-        )
+        with self.tracer.span("pipeline.compare", "pipeline"):
+            return compare(
+                self.profiler,
+                baseline.record(xyz), baseline.config,
+                self.record(xyz), self.config,
+            )
 
     def throughput_estimate(
         self, xyz: np.ndarray

@@ -36,6 +36,8 @@ from repro.core.pipeline import EdgePCConfig
 from repro.core.sampler import MortonSampler
 from repro.neighbors.brute import knn
 from repro.neighbors.metrics import false_neighbor_ratio
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import NULL_TRACER, Tracer
 from repro.robustness.validate import (
     CloudValidationError,
     ValidationPolicy,
@@ -282,6 +284,13 @@ class GuardedPipeline:
         policy: sanitization policy applied to every incoming batch.
         thresholds: probe configuration and trip thresholds.
         seed: seeds the probe subsampling.
+        tracer: optional tracer; every probe, fallback, and cooldown
+            re-probe becomes a ``guard.*`` span.  Defaults to the
+            wrapped pipeline's tracer so guard spans nest into the
+            same timeline.
+        metrics: optional registry for guard counters (probes, trips,
+            fallbacks, rejections, breaker transitions) and probe-score
+            gauges.  Defaults to the wrapped pipeline's registry.
 
     The guard never raises on bad input: sanitization failures and
     irrecoverably non-finite outputs come back as structured
@@ -295,11 +304,19 @@ class GuardedPipeline:
         policy: Optional[ValidationPolicy] = None,
         thresholds: Optional[GuardThresholds] = None,
         seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.pipeline = pipeline
         self.policy = policy or ValidationPolicy()
         self.thresholds = thresholds or GuardThresholds()
         self._rng = np.random.default_rng(seed)
+        if tracer is None:
+            tracer = getattr(pipeline, "tracer", None) or NULL_TRACER
+        self.tracer = tracer
+        if metrics is None:
+            metrics = getattr(pipeline, "metrics", None)
+        self.metrics = metrics
         self.breakers: Dict[str, CircuitBreaker] = {
             stage: CircuitBreaker(
                 self.thresholds.trip_limit, self.thresholds.cooldown
@@ -309,6 +326,29 @@ class GuardedPipeline:
         self.degradation_log: List[StageDegradation] = []
         self.batches_served = 0
         self.batches_rejected = 0
+
+    # Telemetry helpers -------------------------------------------------
+
+    _BREAKER_LEVELS = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+
+    def _note_breaker(self, stage: str, before: str) -> None:
+        """Count a breaker state transition and refresh its gauge."""
+        registry = self.metrics
+        if registry is None:
+            return
+        after = self.breakers[stage].state
+        if after != before:
+            registry.counter(
+                "guard_breaker_transitions_total",
+                stage=stage, from_state=before, to_state=after,
+            ).inc()
+        registry.gauge("guard_breaker_state", stage=stage).set(
+            self._BREAKER_LEVELS[after]
+        )
+
+    def _count(self, name: str, **labels: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, **labels).inc()
 
     # Stage discovery ---------------------------------------------------
 
@@ -378,6 +418,7 @@ class GuardedPipeline:
         validation: List[ValidationReport],
     ) -> GuardedInferenceResult:
         self.batches_rejected += 1
+        self._count("guard_rejections_total")
         return GuardedInferenceResult(
             result=None,
             rejected=True,
@@ -389,6 +430,95 @@ class GuardedPipeline:
     def infer(self, xyz: np.ndarray) -> GuardedInferenceResult:
         """Sanitize, probe, and run one batch — never raises on bad
         input; returns a structured rejection instead."""
+        with self.tracer.span("guard.infer", "guard") as span:
+            result = self._guarded_infer(xyz)
+            span.set("rejected", result.rejected)
+            span.set(
+                "degraded_stages", list(result.degraded_stages)
+            )
+            return result
+
+    def _probe_stage(
+        self,
+        stage: str,
+        probe: np.ndarray,
+        batch_index: int,
+        degradations: List[StageDegradation],
+    ) -> bool:
+        """Probe one stage; returns True when it must run exact."""
+        breaker = self.breakers[stage]
+        reprobe = breaker.state == "open"
+        before = breaker.state
+        decision = breaker.before_batch()
+        self._note_breaker(stage, before)
+        if decision == "forced":
+            self._count(
+                "guard_fallbacks_total", stage=stage,
+                reason="circuit_open",
+            )
+            degradations.append(
+                StageDegradation(
+                    stage, "circuit_open", float("nan"),
+                    float("nan"), batch_index,
+                )
+            )
+            return True
+        # A half-open breaker means this probe is the cooldown
+        # re-probe that decides whether the stage rejoins the
+        # approximate path.
+        reprobe = reprobe or before == "half_open"
+        self._count("guard_probes_total", stage=stage)
+        if reprobe:
+            self._count("guard_reprobes_total", stage=stage)
+        min_probe = max(2, self.thresholds.probe_k)
+        if probe.shape[0] < min_probe:
+            # Too few points for a meaningful probe; the exact
+            # kernels are cheap at this size anyway.
+            before = breaker.state
+            breaker.record_trip()
+            self._note_breaker(stage, before)
+            self._count(
+                "guard_fallbacks_total", stage=stage,
+                reason="probe_underpopulated",
+            )
+            degradations.append(
+                StageDegradation(
+                    stage, "probe_tripped", float("nan"),
+                    float(probe.shape[0]), batch_index,
+                )
+            )
+            return True
+        with self.tracer.span("guard.probe", "guard") as probe_span:
+            probe_span.set("stage", stage)
+            probe_span.set("reprobe", reprobe)
+            metric, threshold = self._run_probe(stage, probe)
+            probe_span.set("metric", metric)
+            probe_span.set("threshold", threshold)
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "guard_probe_score", stage=stage
+            ).set(metric)
+        before = breaker.state
+        if metric > threshold:
+            breaker.record_trip()
+            self._note_breaker(stage, before)
+            self._count("guard_probe_trips_total", stage=stage)
+            self._count(
+                "guard_fallbacks_total", stage=stage,
+                reason="probe_tripped",
+            )
+            degradations.append(
+                StageDegradation(
+                    stage, "probe_tripped", metric, threshold,
+                    batch_index,
+                )
+            )
+            return True
+        breaker.record_pass()
+        self._note_breaker(stage, before)
+        return False
+
+    def _guarded_infer(self, xyz: np.ndarray) -> GuardedInferenceResult:
         batch_index = self.batches_served + self.batches_rejected
         try:
             xyz, validation = sanitize_batch(xyz, self.policy)
@@ -398,42 +528,11 @@ class GuardedPipeline:
         degradations: List[StageDegradation] = []
         exact: List[str] = []
         probe = self._probe_set(xyz[0])
-        min_probe = max(2, self.thresholds.probe_k)
         for stage in self._guarded_stages():
-            breaker = self.breakers[stage]
-            if breaker.before_batch() == "forced":
+            if self._probe_stage(
+                stage, probe, batch_index, degradations
+            ):
                 exact.append(stage)
-                degradations.append(
-                    StageDegradation(
-                        stage, "circuit_open", float("nan"),
-                        float("nan"), batch_index,
-                    )
-                )
-                continue
-            if probe.shape[0] < min_probe:
-                # Too few points for a meaningful probe; the exact
-                # kernels are cheap at this size anyway.
-                breaker.record_trip()
-                exact.append(stage)
-                degradations.append(
-                    StageDegradation(
-                        stage, "probe_tripped", float("nan"),
-                        float(probe.shape[0]), batch_index,
-                    )
-                )
-                continue
-            metric, threshold = self._run_probe(stage, probe)
-            if metric > threshold:
-                breaker.record_trip()
-                exact.append(stage)
-                degradations.append(
-                    StageDegradation(
-                        stage, "probe_tripped", metric, threshold,
-                        batch_index,
-                    )
-                )
-            else:
-                breaker.record_pass()
 
         config = degraded_config(self.pipeline.config, tuple(exact))
         result = self._run(xyz, config)
@@ -444,6 +543,10 @@ class GuardedPipeline:
                 (STAGE_SAMPLING, STAGE_NEIGHBOR),
             )
             if config != full_exact:
+                self._count(
+                    "guard_fallbacks_total", stage="all",
+                    reason="non_finite_logits",
+                )
                 degradations.append(
                     StageDegradation(
                         "all", "non_finite_logits", float("nan"),
@@ -451,7 +554,8 @@ class GuardedPipeline:
                     )
                 )
                 config = full_exact
-                result = self._run(xyz, config)
+                with self.tracer.span("guard.retry_exact", "guard"):
+                    result = self._run(xyz, config)
             if not np.isfinite(result.logits).all():
                 self.degradation_log.extend(degradations)
                 return self._reject(
@@ -462,6 +566,7 @@ class GuardedPipeline:
                 )
         self.degradation_log.extend(degradations)
         self.batches_served += 1
+        self._count("guard_batches_served_total")
         return GuardedInferenceResult(
             result=result,
             degradations=degradations,

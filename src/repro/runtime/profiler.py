@@ -30,7 +30,13 @@ from repro.runtime.device import DeviceSpec, xavier
 
 @dataclass(frozen=True)
 class StageBreakdown:
-    """Per-stage simulated latency (seconds) plus derived metrics."""
+    """Per-stage simulated latency (seconds) plus derived metrics.
+
+    ``per_layer_s`` is insertion-ordered by recorder event: keys appear
+    in the order each ``stage[layer]`` pair first occurred in the
+    forward pass.  Exporters (trace files, run reports) rely on this,
+    so identical runs produce byte-identical artifacts.
+    """
 
     sample_s: float
     neighbor_s: float

@@ -22,6 +22,8 @@ from repro.nn.autograd import Tensor, no_grad
 from repro.nn.layers import Module
 from repro.nn.losses import cross_entropy
 from repro.nn.optim import Adam, Optimizer
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import NULL_TRACER, Tracer
 from repro.train.metrics import mean_iou, overall_accuracy
 
 
@@ -63,6 +65,10 @@ class Trainer:
         optimizer: defaults to Adam(1e-3) over the model parameters.
         forward: optional override for models needing extra inputs.
         label_smoothing: passed through to the loss.
+        tracer: optional tracer; epochs and evaluations become
+            ``train.*`` spans.  Defaults to the no-op tracer.
+        metrics: optional registry; batch/epoch counters and the last
+            loss/accuracy gauges are recorded when given.
     """
 
     def __init__(
@@ -71,11 +77,15 @@ class Trainer:
         optimizer: Optional[Optimizer] = None,
         forward: ForwardFn = _default_forward,
         label_smoothing: float = 0.0,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer or Adam(model.parameters(), lr=1e-3)
         self.forward = forward
         self.label_smoothing = label_smoothing
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
     def train_epoch(self, batches: Sequence[Batch]) -> float:
         """One pass over the batches; returns the mean loss."""
@@ -83,16 +93,26 @@ class Trainer:
             raise ValueError("no batches to train on")
         self.model.train()
         total = 0.0
-        for batch in batches:
-            self.optimizer.zero_grad()
-            logits = self.forward(self.model, batch)
-            loss = cross_entropy(
-                logits, batch.labels, self.label_smoothing
+        with self.tracer.span("train.epoch", "train") as span:
+            for batch in batches:
+                self.optimizer.zero_grad()
+                logits = self.forward(self.model, batch)
+                loss = cross_entropy(
+                    logits, batch.labels, self.label_smoothing
+                )
+                loss.backward()
+                self.optimizer.step()
+                total += loss.item()
+            mean_loss = total / len(batches)
+            span.set("batches", len(batches))
+            span.set("mean_loss", mean_loss)
+        if self.metrics is not None:
+            self.metrics.counter("train_epochs_total").inc()
+            self.metrics.counter("train_batches_total").inc(
+                len(batches)
             )
-            loss.backward()
-            self.optimizer.step()
-            total += loss.item()
-        return total / len(batches)
+            self.metrics.gauge("train_last_loss").set(mean_loss)
+        return mean_loss
 
     def fit(
         self,
@@ -110,6 +130,17 @@ class Trainer:
         """
         if epochs < 1:
             raise ValueError("epochs must be positive")
+        with self.tracer.span("train.fit", "train") as span:
+            span.set("epochs", epochs)
+            return self._fit(batches, epochs, shuffle_seed, scheduler)
+
+    def _fit(
+        self,
+        batches: Sequence[Batch],
+        epochs: int,
+        shuffle_seed: Optional[int],
+        scheduler,
+    ) -> TrainResult:
         result = TrainResult()
         order = list(range(len(batches)))
         rng = (
@@ -140,7 +171,7 @@ class Trainer:
         self.model.eval()
         predictions = []
         targets = []
-        with no_grad():
+        with self.tracer.span("train.evaluate", "train"), no_grad():
             for batch in batches:
                 logits = self.forward(self.model, batch)
                 predictions.append(logits.data.argmax(axis=-1))
@@ -152,6 +183,8 @@ class Trainer:
         miou = None
         if num_classes is not None:
             miou = mean_iou(predictions, targets, num_classes)
+        if self.metrics is not None:
+            self.metrics.gauge("train_last_accuracy").set(accuracy)
         return EvalResult(accuracy=accuracy, miou=miou)
 
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -132,6 +134,65 @@ class TestSampleCommand:
         )
 
 
+def _load_chrome_trace(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert doc["displayTimeUnit"] == "ms"
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+    for event in doc["traceEvents"]:
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+    return doc
+
+
+def _metric_names(path):
+    with open(path) as fh:
+        snapshot = json.load(fh)
+    return {m["name"] for m in snapshot["metrics"]}
+
+
+class TestSampleTelemetry:
+    def test_synthetic_cloud_without_positionals(self, capsys):
+        assert main(["sample", "-n", "64", "--points", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic" in out
+        assert "64" in out
+
+    def test_acceptance_invocation_writes_artifacts(
+        self, tmp_path, capsys
+    ):
+        """The ISSUE acceptance command: guarded synthetic sample with
+        trace + metrics out, stage spans and guard/validation/streaming
+        counters present."""
+        trace_path = str(tmp_path / "trace.json")
+        metrics_path = str(tmp_path / "metrics.json")
+        assert main(
+            ["sample", "--guard", "-n", "64", "--points", "512",
+             "--trace-out", trace_path,
+             "--metrics-out", metrics_path]
+        ) == 0
+        doc = _load_chrome_trace(trace_path)
+        span_names = {e["name"] for e in doc["traceEvents"]}
+        for required in (
+            "sample", "neighbor_search", "grouping",
+            "feature_compute", "pipeline.infer", "guard.infer",
+            "demo.stream", "cli.sample",
+        ):
+            assert required in span_names, required
+        names = _metric_names(metrics_path)
+        for family in (
+            "guard_probes_total", "guard_batches_served_total",
+            "validation_repairs_total", "validation_rejects_total",
+            "guard_rejections_total", "streaming_inserts_total",
+            "streaming_evictions_total",
+            "pipeline_stage_latency_seconds",
+        ):
+            assert family in names, family
+        out = capsys.readouterr().out
+        assert "guard: breaker states:" in out
+        assert "degradation log" in out
+
+
 class TestSweepCommand:
     def test_synthetic_sweep(self, capsys):
         assert main(
@@ -161,3 +222,103 @@ class TestReportCommand:
         assert "EdgePC" in out
         # Three config sections, each with six workloads + average.
         assert out.count("avg") == 3
+
+
+class TestTraceCommand:
+    def test_writes_all_artifacts(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.json")
+        jsonl_path = str(tmp_path / "spans.jsonl")
+        metrics_path = str(tmp_path / "metrics.json")
+        report_path = str(tmp_path / "report.json")
+        bench_path = str(tmp_path / "BENCH_observability.json")
+        assert main(
+            ["trace", "--workload", "all", "--config", "edgepc",
+             "--trace-out", trace_path, "--jsonl-out", jsonl_path,
+             "--metrics-out", metrics_path,
+             "--report-out", report_path, "--bench-out", bench_path]
+        ) == 0
+        doc = _load_chrome_trace(trace_path)
+        span_names = {e["name"] for e in doc["traceEvents"]}
+        assert {"sample", "neighbor_search", "grouping",
+                "feature_compute"} <= span_names
+        with open(jsonl_path) as fh:
+            lines = [json.loads(line) for line in fh]
+        assert len(lines) == len(doc["traceEvents"])
+        assert "pipeline_stage_latency_seconds" in _metric_names(
+            metrics_path
+        )
+        with open(report_path) as fh:
+            report = json.load(fh)
+        assert report["meta"]["schema_version"] == 1
+        assert report["meta"]["workload"] == "all"
+        assert len(report["breakdowns"]) == 6
+        with open(bench_path) as fh:
+            bench = json.load(fh)
+        assert bench["bench"] == "observability_smoke"
+        assert bench["workloads"] == [
+            "W1", "W2", "W3", "W4", "W5", "W6"
+        ]
+        assert bench["stage_medians_s"]["total_s"] > 0
+        out = capsys.readouterr().out
+        assert "median" in out
+
+    def test_single_workload(self, tmp_path):
+        trace_path = str(tmp_path / "t.json")
+        assert main(
+            ["trace", "--workload", "W2", "--trace-out", trace_path]
+        ) == 0
+        doc = _load_chrome_trace(trace_path)
+        assert any(
+            e["name"] == "workload.W2" for e in doc["traceEvents"]
+        )
+
+
+class TestMetricsCommand:
+    def test_prometheus_stdout(self, capsys):
+        assert main(["metrics", "--workload", "W1"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE pipeline_stage_latency_seconds histogram" in out
+        assert 'stage="sample"' in out
+        assert "pipeline_batches_total" in out
+
+    def test_prometheus_parses_back(self, capsys):
+        from repro.observability import parse_prometheus
+
+        assert main(["metrics", "--workload", "W1"]) == 0
+        values = parse_prometheus(capsys.readouterr().out)
+        assert values  # at least one sample line parsed
+
+    def test_json_to_file(self, tmp_path):
+        out_path = str(tmp_path / "m.json")
+        assert main(
+            ["metrics", "--workload", "W1", "--format", "json",
+             "--out", out_path]
+        ) == 0
+        assert "pipeline_energy_joules_total" in _metric_names(
+            out_path
+        )
+
+
+class TestProfileCompareTelemetry:
+    def test_profile_trace_and_metrics_out(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.json")
+        metrics_path = str(tmp_path / "m.json")
+        assert main(
+            ["profile", "--workload", "W1",
+             "--trace-out", trace_path,
+             "--metrics-out", metrics_path]
+        ) == 0
+        _load_chrome_trace(trace_path)
+        assert "pipeline_stage_latency_seconds" in _metric_names(
+            metrics_path
+        )
+
+    def test_compare_exports_speedup_gauges(self, tmp_path):
+        metrics_path = str(tmp_path / "m.json")
+        assert main(
+            ["compare", "--workload", "W1",
+             "--metrics-out", metrics_path]
+        ) == 0
+        names = _metric_names(metrics_path)
+        assert "compare_end_to_end_speedup" in names
+        assert "compare_energy_saving_fraction" in names

@@ -113,6 +113,14 @@ class TestPipelineRobustness:
             1e3 / estimate.batches_per_second
         )
 
+    def test_zero_throughput_latency_is_inf(self):
+        from repro.pipeline import ThroughputEstimate
+
+        estimate = ThroughputEstimate(
+            batches_per_second=0.0, clouds_per_second=0.0
+        )
+        assert estimate.latency_ms == float("inf")
+
     def test_empty_trace_error(self, rng):
         from repro.nn.layers import Module
         from repro.pipeline import EmptyTraceError
