@@ -494,6 +494,20 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Project-aware static analysis (see docs/static_analysis.md)."""
+    from repro.lint import run_lint
+
+    return run_lint(
+        paths=args.paths or ["src"],
+        output_format=args.format,
+        baseline=args.baseline,
+        fail_on=args.fail_on,
+        out=args.out,
+        write_baseline=args.write_baseline,
+    )
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Print the metrics snapshot of a workload smoke run."""
     registry = MetricsRegistry()
@@ -646,6 +660,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="write to a file instead of stdout",
     )
     metrics_cmd.set_defaults(func=cmd_metrics)
+
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="project-aware static analysis: kernel, determinism, "
+        "telemetry, and robustness invariants",
+    )
+    lint_cmd.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to lint (default: src)",
+    )
+    lint_cmd.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="stdout rendering",
+    )
+    lint_cmd.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="JSON baseline of grandfathered findings to subtract",
+    )
+    lint_cmd.add_argument(
+        "--fail-on", default="error",
+        choices=("warning", "error"),
+        help="exit 1 when a new finding reaches this severity",
+    )
+    lint_cmd.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the machine-readable JSON findings report "
+        "(the CI artifact) to FILE",
+    )
+    lint_cmd.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write the current findings as a new baseline and "
+        "exit 0",
+    )
+    lint_cmd.set_defaults(func=cmd_lint)
     return parser
 
 

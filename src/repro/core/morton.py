@@ -55,6 +55,10 @@ def spread_bits(values: np.ndarray) -> np.ndarray:
 
     This is the building block of interleaving: the three spread axes are
     OR-ed together at offsets 0/1/2.
+
+    Returns:
+        int64 array of the input's shape with every value's bits
+        spread to each third position.
     """
     spread = np.asarray(values, dtype=np.int64)
     if np.any(spread < 0) or np.any(spread >= (1 << MAX_BITS_PER_AXIS)):
@@ -76,7 +80,8 @@ _COMPACT_STEPS = (
 
 
 def compact_bits(codes: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`spread_bits`: gather every 3rd bit back down."""
+    """Inverse of :func:`spread_bits`: gather every 3rd bit back down
+    into an int64 array of the input's shape."""
     compact = np.asarray(codes, dtype=np.int64) & 0x1249249249249249
     for shift, mask in _COMPACT_STEPS:
         compact = (compact ^ (compact >> shift)) & mask

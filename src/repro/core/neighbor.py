@@ -23,7 +23,7 @@ from repro.robustness.validate import ensure_finite
 def window_ranks(
     query_ranks: np.ndarray, window: int, num_points: int
 ) -> np.ndarray:
-    """``(Q, W)`` candidate ranks around each query rank.
+    """``(Q, W)`` int64 candidate ranks around each query rank.
 
     Windows are shifted (not truncated) at the array boundaries so every
     query sees exactly ``W`` distinct candidates, mirroring how a CUDA
@@ -74,7 +74,7 @@ class MortonNeighborSearch:
     ) -> np.ndarray:
         """Neighbors for queries given by *sorted rank*.
 
-        Returns ``(Q, k)`` original-point indices.
+        Returns ``(Q, k)`` int64 original-point indices.
         """
         points = np.asarray(points, dtype=np.float64)
         if len(order) != points.shape[0]:
@@ -116,7 +116,7 @@ class MortonNeighborSearch:
                 overhead"); structurized from scratch when omitted.
 
         Returns:
-            ``(Q, k)`` original-point indices.
+            ``(Q, k)`` int64 original-point indices.
         """
         points = np.asarray(points, dtype=np.float64)
         if order is None:

@@ -89,6 +89,8 @@ class NeighborCache:
         self.stores += 1
 
     def load(self) -> np.ndarray:
+        """The cached ``(Q, k)`` / ``(B, Q, k)`` integer neighbor
+        index matrix, exactly as stored."""
         if self._indices is None:
             raise RuntimeError("neighbor cache is empty; nothing to reuse")
         self.hits += 1

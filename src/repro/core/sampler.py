@@ -112,7 +112,7 @@ class MortonUpsampler:
     def candidate_sample_slots(
         self, num_points: int, sample_result: MortonSampleResult
     ) -> np.ndarray:
-        """``(N, num_candidates)`` sample slots for each sorted rank.
+        """``(N, num_candidates)`` int64 sample slots per sorted rank.
 
         Slot ``s`` means "the s-th sampled point" (row into the sampled
         feature matrix).  Out-of-range candidates are clamped to the
@@ -180,7 +180,7 @@ class MortonUpsampler:
     ) -> np.ndarray:
         """Propagate ``(n, C)`` sampled features back to ``(N, C)``.
 
-        Output rows are in the *original* point order.
+        Output rows are float64, in the *original* point order.
         """
         sampled_features = np.asarray(sampled_features, dtype=np.float64)
         if sampled_features.shape[0] != len(sample_result):
@@ -205,6 +205,8 @@ def exact_interpolate(
 
     Baseline counterpart of :meth:`MortonUpsampler.interpolate`, used by
     the unoptimized FP modules and by tests as the exactness oracle.
+    Returns an ``(N, C)`` float64 feature array in original point
+    order.
     """
     points = np.asarray(points, dtype=np.float64)
     sampled_indices = np.asarray(sampled_indices)

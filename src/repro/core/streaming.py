@@ -95,11 +95,13 @@ class StreamingMortonOrder:
 
     @property
     def points(self) -> np.ndarray:
-        """The current point set, in Morton order (read-only view)."""
+        """The current ``(N, 3)`` float64 point set, in Morton order
+        (read-only view)."""
         return self._points
 
     @property
     def codes(self) -> np.ndarray:
+        """The matching ``(N,)`` int64 Morton codes, ascending."""
         return self._codes
 
     def insert(self, new_points: np.ndarray) -> None:

@@ -47,19 +47,22 @@ class MortonOrder:
 
     @property
     def sorted_codes(self) -> np.ndarray:
-        """Codes in ascending order (the 'structured' view)."""
+        """``(N,)`` int64 codes in ascending order (the 'structured'
+        view)."""
         return self.codes[self.permutation]
 
     def sorted_points(self, points: np.ndarray) -> np.ndarray:
-        """View the original ``(N, ...)`` point array in Morton order."""
+        """View the original ``(N, ...)`` point array in Morton order,
+        dtype preserved."""
         return np.asarray(points)[self.permutation]
 
     def rank_of(self, original_indices: np.ndarray) -> np.ndarray:
-        """Sorted rank of each original point index."""
+        """``(Q,)`` int64 sorted rank of each original point index."""
         return self.ranks[np.asarray(original_indices)]
 
     def original_index_of(self, sorted_ranks: np.ndarray) -> np.ndarray:
-        """Original index of each sorted rank (``I'`` lookup)."""
+        """``(Q,)`` int64 original index of each sorted rank
+        (``I'`` lookup)."""
         return self.permutation[np.asarray(sorted_ranks)]
 
     @property

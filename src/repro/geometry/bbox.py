@@ -61,7 +61,7 @@ class BoundingBox:
 
     @property
     def extent(self) -> np.ndarray:
-        """Side lengths ``(L, W, H)`` of the box."""
+        """Side lengths ``(L, W, H)`` of the box, float64 ``(3,)``."""
         return self.maximum - self.minimum
 
     @property
@@ -71,6 +71,7 @@ class BoundingBox:
 
     @property
     def center(self) -> np.ndarray:
+        """Box midpoint as a float64 ``(3,)`` coordinate."""
         return (self.minimum + self.maximum) / 2.0
 
     @property
@@ -78,7 +79,8 @@ class BoundingBox:
         return float(np.linalg.norm(self.extent))
 
     def contains(self, points: np.ndarray) -> np.ndarray:
-        """Boolean mask of which points fall inside (inclusive) the box."""
+        """``(N,)`` boolean mask of which points fall inside
+        (inclusive) the box."""
         points = np.asarray(points, dtype=np.float64)
         return np.all(
             (points >= self.minimum) & (points <= self.maximum), axis=-1

@@ -34,7 +34,7 @@ def sample_sphere(
     radius: float = 1.0,
     density_bias: float = 0.0,
 ) -> np.ndarray:
-    """Sample ``n`` points on a sphere surface."""
+    """Sample ``n`` points on a sphere surface as ``(n, 3)`` float64."""
     u = _bias_parameter(rng.random(n), density_bias)
     theta = 2.0 * np.pi * rng.random(n)
     phi = np.arccos(1.0 - 2.0 * u)
@@ -54,6 +54,8 @@ def sample_ellipsoid(
     semi_axes: tuple = (1.0, 0.6, 0.4),
     density_bias: float = 0.0,
 ) -> np.ndarray:
+    """Ellipsoid surface with the given semi-axes; returns
+    ``(n, 3)`` float64 coordinates."""
     points = sample_sphere(n, rng, 1.0, density_bias)
     return points * np.asarray(semi_axes, dtype=np.float64)
 
@@ -65,6 +67,8 @@ def sample_torus(
     minor_radius: float = 0.35,
     density_bias: float = 0.0,
 ) -> np.ndarray:
+    """Torus surface around the z axis; returns ``(n, 3)`` float64
+    coordinates."""
     u = 2.0 * np.pi * _bias_parameter(rng.random(n), density_bias)
     v = 2.0 * np.pi * rng.random(n)
     ring = major_radius + minor_radius * np.cos(v)
@@ -81,7 +85,8 @@ def sample_cylinder(
     height: float = 2.0,
     density_bias: float = 0.0,
 ) -> np.ndarray:
-    """Open cylinder (lateral surface only), axis along z."""
+    """Open cylinder (lateral surface only), axis along z; returns
+    ``(n, 3)`` float64 coordinates."""
     theta = 2.0 * np.pi * rng.random(n)
     z = height * (_bias_parameter(rng.random(n), density_bias) - 0.5)
     return np.stack(
@@ -96,7 +101,8 @@ def sample_cone(
     height: float = 1.6,
     density_bias: float = 0.0,
 ) -> np.ndarray:
-    """Cone surface with apex at ``(0, 0, height)`` and base in z = 0."""
+    """Cone surface with apex at ``(0, 0, height)`` and base in z = 0,
+    as ``(n, 3)`` float64 coordinates."""
     # Area-correct sampling along the slant: radius grows linearly with
     # distance from the apex, so take sqrt of a uniform variable.
     t = np.sqrt(_bias_parameter(rng.random(n), density_bias))
@@ -113,7 +119,8 @@ def sample_box(
     extents: tuple = (1.0, 1.0, 1.0),
     density_bias: float = 0.0,
 ) -> np.ndarray:
-    """Sample the surface of an axis-aligned box centered at the origin."""
+    """Sample the surface of an axis-aligned box centered at the
+    origin; returns ``(n, 3)`` float64 coordinates."""
     ex, ey, ez = (float(v) for v in extents)
     areas = np.array([ey * ez, ex * ez, ex * ey], dtype=np.float64)
     areas = areas / areas.sum()
@@ -143,7 +150,8 @@ def sample_plane(
     extents: tuple = (2.0, 2.0),
     density_bias: float = 0.0,
 ) -> np.ndarray:
-    """Horizontal rectangle in z = 0 (floors/ceilings of rooms)."""
+    """Horizontal rectangle in z = 0 (floors/ceilings of rooms), as
+    ``(n, 3)`` float64 coordinates."""
     ex, ey = (float(v) for v in extents)
     x = ex * (_bias_parameter(rng.random(n), density_bias) - 0.5)
     y = ey * (rng.random(n) - 0.5)
@@ -157,7 +165,8 @@ def sample_capsule(
     height: float = 1.2,
     density_bias: float = 0.0,
 ) -> np.ndarray:
-    """Cylinder with hemispherical caps, axis along z."""
+    """Cylinder with hemispherical caps, axis along z; returns
+    ``(n, 3)`` float64 coordinates."""
     cap_area = 4.0 * np.pi * radius**2
     side_area = 2.0 * np.pi * radius * height
     p_side = side_area / (side_area + cap_area)
@@ -182,7 +191,8 @@ def sample_helix(
     thickness: float = 0.05,
     density_bias: float = 0.0,
 ) -> np.ndarray:
-    """A thin helical tube (a curve-like, highly anisotropic shape)."""
+    """A thin helical tube (a curve-like, highly anisotropic shape),
+    as ``(n, 3)`` float64 coordinates."""
     t = turns * 2.0 * np.pi * _bias_parameter(rng.random(n), density_bias)
     noise = rng.normal(0.0, thickness, (n, 3))
     return (
@@ -196,7 +206,8 @@ def sample_gaussian_blob(
     rng: np.random.Generator,
     scales: tuple = (0.5, 0.5, 0.5),
 ) -> np.ndarray:
-    """Volumetric Gaussian cluster (clutter in synthetic scans)."""
+    """Volumetric Gaussian cluster (clutter in synthetic scans), as
+    ``(n, 3)`` float64 coordinates."""
     return rng.normal(0.0, 1.0, (n, 3)) * np.asarray(scales)
 
 
@@ -210,7 +221,7 @@ def lumpy_radial_perturbation(
 
     Turns analytic surfaces (spheres, ellipsoids) into organic-looking
     blobs — used by the procedural "bunny" model for Fig. 5's sampling
-    study.
+    study.  Returns a float64 array of the input's ``(N, 3)`` shape.
     """
     if amplitude < 0:
         raise ValueError("amplitude must be non-negative")

@@ -25,7 +25,8 @@ def normalize_unit_sphere(cloud: PointCloud) -> PointCloud:
 
 
 def rotation_matrix_z(angle: float) -> np.ndarray:
-    """Rotation about the z (gravity) axis by ``angle`` radians."""
+    """``(3, 3)`` float64 rotation about the z (gravity) axis by
+    ``angle`` radians."""
     c, s = np.cos(angle), np.sin(angle)
     return np.array(
         [[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]], dtype=np.float64

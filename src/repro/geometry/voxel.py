@@ -67,7 +67,8 @@ class VoxelGrid:
         return np.clip(cells, 0, self.cells_per_axis - 1).astype(np.uint32)
 
     def cell_center(self, cells: np.ndarray) -> np.ndarray:
-        """Continuous coordinates of the centers of ``(N, 3)`` cells."""
+        """Continuous float64 coordinates of the centers of
+        ``(N, 3)`` cells."""
         cells = np.asarray(cells, dtype=np.float64)
         return self.origin + (cells + 0.5) * self.cell_size
 

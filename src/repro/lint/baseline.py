@@ -1,0 +1,102 @@
+"""Checked-in finding baselines: grandfather old findings, gate new.
+
+A baseline is a JSON document listing finding fingerprints (with
+occurrence counts, so two identical findings in one file need two
+baseline slots).  ``repro lint --baseline FILE`` subtracts baselined
+findings before the ``--fail-on`` gate, which turns the linter into a
+zero-*new*-findings gate on legacy trees; ``--write-baseline`` emits
+the file.  Entries carry the rule/path/message they matched so the
+file stays reviewable, plus an optional free-form ``reason``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.findings import Finding
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> allowed-occurrence-count map."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    note: str = ""
+    entries: List[Dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], note: str = ""
+    ) -> "Baseline":
+        baseline = cls(note=note)
+        findings = list(findings)
+        for finding in findings:
+            fp = finding.fingerprint
+            baseline.counts[fp] = baseline.counts.get(fp, 0) + 1
+        by_fp = {f.fingerprint: f for f in findings}
+        for fp, count in sorted(baseline.counts.items()):
+            finding = by_fp[fp]
+            baseline.entries.append(
+                {
+                    "fingerprint": fp,
+                    "count": count,
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "message": finding.message,
+                }
+            )
+        return baseline
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported baseline schema_version {version!r}"
+            )
+        baseline = cls(note=data.get("note", ""))
+        for entry in data.get("findings", []):
+            fp = entry["fingerprint"]
+            count = int(entry.get("count", 1))
+            baseline.counts[fp] = baseline.counts.get(fp, 0) + count
+            baseline.entries.append(dict(entry))
+        return baseline
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "note": self.note,
+            "findings": self.entries,
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into ``(new, grandfathered)``.
+
+        Up to ``count`` findings per fingerprint are absorbed by the
+        baseline (in input order); the rest are new.
+        """
+        used: Counter = Counter()
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint
+            if used[fp] < self.counts.get(fp, 0):
+                used[fp] += 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old

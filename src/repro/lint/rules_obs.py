@@ -1,0 +1,192 @@
+"""OBS rules: the PR-2 telemetry contract.
+
+Every public pipeline entry point must be observable — it either
+opens a span, touches the metrics registry, or delegates to a sibling
+method that does — and every metric name must follow the
+``docs/observability.md`` convention (snake_case; counters end in
+``_total``; histograms carry a unit suffix) so dashboards and the
+Prometheus exposition stay consistent.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Set
+
+from repro.lint.engine import ModuleContext, Rule, register
+from repro.lint.findings import Finding
+
+_SNAKE_CASE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Histogram names must end in a unit (or count) suffix.
+HISTOGRAM_SUFFIXES = (
+    "_seconds",
+    "_joules",
+    "_bytes",
+    "_points",
+    "_ratio",
+    "_total",
+)
+
+#: Method-name hints that a call touches telemetry directly.
+_TELEMETRY_ATTRS = frozenset(
+    {"span", "counter", "gauge", "histogram", "emit"}
+)
+
+#: Decorators whose methods are exempt from the instrumentation rule.
+_EXEMPT_DECORATORS = ("property", "cached_property", "staticmethod")
+
+
+def _touches_telemetry(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in _TELEMETRY_ATTRS:
+                return True
+        if isinstance(node, ast.Attribute) and node.attr in (
+            "metrics",
+            "tracer",
+        ):
+            return True
+        if isinstance(node, ast.Name) and node.id in (
+            "registry",
+            "metrics",
+            "tracer",
+        ):
+            return True
+    return False
+
+
+def _self_calls(fn: ast.FunctionDef) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            out.add(node.func.attr)
+    return out
+
+
+def _is_exempt(fn: ast.FunctionDef) -> bool:
+    for decorator in fn.decorator_list:
+        rendered = ast.unparse(decorator)
+        if any(name in rendered for name in _EXEMPT_DECORATORS):
+            return True
+    return False
+
+
+@register
+class PipelineInstrumentationRule(Rule):
+    """OBS-301: un-instrumented public pipeline stage methods."""
+
+    rule_id = "OBS-301"
+    severity = "warning"
+    title = "public pipeline method emits no telemetry"
+    rationale = (
+        "PR-2 invariant: every public stage method on a *Pipeline "
+        "class opens a span or records metrics (directly or via a "
+        "sibling method) so production traces cover every entry "
+        "point."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.ClassDef)
+                and node.name.endswith("Pipeline")
+            ):
+                continue
+            methods: Dict[str, ast.FunctionDef] = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+            instrumented = {
+                name
+                for name, fn in methods.items()
+                if _touches_telemetry(fn)
+            }
+            # Delegation closure: a method that calls an instrumented
+            # sibling counts as instrumented itself.
+            changed = True
+            while changed:
+                changed = False
+                for name, fn in methods.items():
+                    if name in instrumented:
+                        continue
+                    if _self_calls(fn) & instrumented:
+                        instrumented.add(name)
+                        changed = True
+            for name, fn in methods.items():
+                if name.startswith("_") or name in instrumented:
+                    continue
+                if _is_exempt(fn):
+                    continue
+                yield ctx.finding(
+                    self,
+                    fn,
+                    f"{node.name}.{name}() opens no span and "
+                    "records no metrics (and delegates to no method "
+                    "that does)",
+                )
+
+
+@register
+class MetricNamingRule(Rule):
+    """OBS-302: metric names off the documented convention."""
+
+    rule_id = "OBS-302"
+    severity = "error"
+    title = "metric name violates the naming convention"
+    rationale = (
+        "docs/observability.md: metric names are snake_case; "
+        "counters end in _total; histograms end in a unit suffix "
+        "(_seconds, _joules, _bytes, _points, _ratio).  Consistent "
+        "names keep the Prometheus exposition scrapeable and "
+        "dashboards portable."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("counter", "gauge", "histogram")
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+            ):
+                continue
+            name = first.value
+            kind = node.func.attr
+            for problem in self._name_problems(name, kind):
+                yield ctx.finding(self, node, problem)
+
+    @staticmethod
+    def _name_problems(name: str, kind: str) -> List[str]:
+        problems: List[str] = []
+        if not _SNAKE_CASE.match(name):
+            problems.append(
+                f"metric name {name!r} is not snake_case"
+            )
+        if kind == "counter" and not name.endswith("_total"):
+            problems.append(
+                f"counter {name!r} must end in '_total'"
+            )
+        if kind == "histogram" and not name.endswith(
+            HISTOGRAM_SUFFIXES
+        ):
+            problems.append(
+                f"histogram {name!r} must end in a unit suffix "
+                f"({', '.join(HISTOGRAM_SUFFIXES)})"
+            )
+        return problems

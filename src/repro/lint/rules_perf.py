@@ -1,0 +1,216 @@
+"""PERF rules: keep the Morton kernels O(W) and vectorized.
+
+EdgePC's entire speedup story (paper Secs. 5.1-5.2) is replacing
+O(N^2) brute-force sampling/search with vectorized Morton-window
+kernels, so a Python-level per-point loop sneaking into a kernel
+module silently undoes the contribution.  These rules watch the hot
+kernel modules of ``repro.core`` / ``repro.nn`` for the three ways
+that happens: data-dependent nested loops, list-append accumulation,
+and scalar ``float()`` boxing inside loops.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.engine import ModuleContext, Rule, register
+from repro.lint.findings import Finding
+
+#: Packages whose modules are hot-path kernels by default.
+HOT_PACKAGES: Tuple[str, ...] = ("repro.core.", "repro.nn.")
+
+#: Modules under the hot packages that are *not* per-batch kernels:
+#: offline exploration, configuration, model graph construction, and
+#: training plumbing, where Python loops over layers are idiomatic.
+NON_KERNEL_MODULES = frozenset(
+    {
+        "repro.core.dse",
+        "repro.core.pipeline",
+        "repro.nn.autograd",
+        "repro.nn.dgcnn",
+        "repro.nn.layers",
+        "repro.nn.losses",
+        "repro.nn.optim",
+        "repro.nn.pointnet",
+        "repro.nn.pointnet2",
+        "repro.nn.recorder",
+        "repro.nn.serialization",
+    }
+)
+
+
+def in_hot_kernel(module: str) -> bool:
+    """True for modules the PERF rules police."""
+    if module in NON_KERNEL_MODULES:
+        return False
+    return any(module.startswith(pkg) for pkg in HOT_PACKAGES)
+
+
+def _is_constant_expr(node: ast.AST) -> bool:
+    """Conservative "bounded by a compile-time constant" test.
+
+    Accepts literals, ALL_CAPS names/attributes (module constants),
+    and unary/binary arithmetic over those.
+    """
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id.isupper()
+    if isinstance(node, ast.Attribute):
+        return node.attr.isupper()
+    if isinstance(node, ast.UnaryOp):
+        return _is_constant_expr(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_constant_expr(node.left) and _is_constant_expr(
+            node.right
+        )
+    return False
+
+
+def is_constant_iterable(node: ast.AST) -> bool:
+    """True when a ``for`` target iterates a constant-bounded source:
+    a literal tuple/list, an ALL_CAPS constant, or ``range``/
+    ``enumerate``/``zip``/``reversed`` over such sources."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return True
+    if _is_constant_expr(node):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("range", "enumerate", "zip", "reversed"):
+            return all(
+                _is_constant_expr(arg) or is_constant_iterable(arg)
+                for arg in node.args
+            )
+    return False
+
+
+def _is_data_dependent_loop(loop: ast.AST) -> bool:
+    if isinstance(loop, ast.While):
+        return True
+    if isinstance(loop, ast.For):
+        return not is_constant_iterable(loop.iter)
+    return False
+
+
+def _loops(tree: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.While)):
+            yield node
+
+
+def _inner_loops(loop: ast.AST) -> Iterator[ast.AST]:
+    body = loop.body + getattr(loop, "orelse", [])
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.For, ast.While)):
+                yield node
+
+
+@register
+class NestedDataLoopRule(Rule):
+    """PERF-101: data-dependent nested Python loops in a kernel."""
+
+    rule_id = "PERF-101"
+    severity = "warning"
+    title = "nested data-dependent Python loops in a hot kernel"
+    rationale = (
+        "Paper Secs. 5.1-5.2: Morton kernels must stay O(W) and "
+        "vectorized; a nested Python loop over data-sized iterables "
+        "is the O(N^2) brute-force shape EdgePC exists to avoid."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not in_hot_kernel(ctx.module):
+            return
+        reported = set()
+        for outer in _loops(ctx.tree):
+            if not _is_data_dependent_loop(outer):
+                continue
+            for inner in _inner_loops(outer):
+                if id(inner) in reported:
+                    continue
+                if _is_data_dependent_loop(inner):
+                    reported.add(id(inner))
+                    yield ctx.finding(
+                        self,
+                        inner,
+                        "data-dependent loop nested inside another "
+                        "data-dependent loop; vectorize with NumPy "
+                        "or bound one loop by a constant",
+                    )
+
+
+@register
+class AppendAccumulationRule(Rule):
+    """PERF-102: list-append accumulation inside a kernel loop."""
+
+    rule_id = "PERF-102"
+    severity = "warning"
+    title = "list-append accumulation in a hot-kernel loop"
+    rationale = (
+        "Per-element .append() in a kernel loop reboxes array data "
+        "into Python objects; hot paths must preallocate or use "
+        "vectorized NumPy ops (paper Sec. 5.1 'fully parallel')."
+    )
+
+    _METHODS = ("append", "extend", "insert")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not in_hot_kernel(ctx.module):
+            return
+        for node in _calls_in_any_loop(ctx.tree):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._METHODS
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f".{node.func.attr}() accumulation inside a "
+                    "kernel loop; preallocate the output array "
+                    "or use a vectorized expression",
+                )
+
+
+@register
+class ScalarFloatBoxingRule(Rule):
+    """PERF-103: bare ``float()`` boxing inside a kernel loop."""
+
+    rule_id = "PERF-103"
+    severity = "warning"
+    title = "scalar float() call in a hot-kernel loop"
+    rationale = (
+        "Bare float() in a per-point loop forces float64 scalar "
+        "boxing and an implicit upcast of downstream array math; "
+        "keep per-point arithmetic inside dtype-stable NumPy ops."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not in_hot_kernel(ctx.module):
+            return
+        for node in _calls_in_any_loop(ctx.tree):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare float() inside a kernel loop boxes a "
+                    "scalar and upcasts to float64; hoist it out "
+                    "of the loop or vectorize",
+                )
+
+
+def _calls_in_any_loop(tree: ast.AST) -> Iterator[ast.Call]:
+    """Call nodes inside at least one loop body, each yielded once
+    (loop headers excluded)."""
+    seen = set()
+    for loop in _loops(tree):
+        body = loop.body + getattr(loop, "orelse", [])
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call) and id(node) not in seen:
+                    seen.add(id(node))
+                    yield node

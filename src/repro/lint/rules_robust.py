@@ -1,0 +1,171 @@
+"""ROBUST rules: the PR-1 guarded-inference discipline.
+
+Failures must be observable and attributable: a broad ``except`` that
+swallows everything silently defeats the circuit-breaker/metrics
+design, and array-returning kernels without a documented shape/dtype
+contract push validation errors downstream to whoever consumes the
+array.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.engine import ModuleContext, Rule, register
+from repro.lint.findings import Finding
+
+#: Attribute calls inside a handler that count as a deliberate side
+#: effect (metrics, breaker bookkeeping, logging) rather than a
+#: silent swallow.
+_SIDE_EFFECT_ATTRS = frozenset(
+    {
+        "inc",
+        "observe",
+        "set",
+        "record_trip",
+        "record_pass",
+        "warning",
+        "error",
+        "exception",
+        "critical",
+        "log",
+    }
+)
+
+_BROAD_NAMES = ("Exception", "BaseException")
+
+#: Packages whose array-returning public functions must document
+#: their shape/dtype contract.
+CONTRACT_PACKAGES = ("repro.core", "repro.geometry")
+
+_SHAPE_HINT = re.compile(
+    r"\bshape\b|\bscalar\b|\b[0-9]-d\b|\(\s*[a-z0-9*.]+\s*,"
+)
+_DTYPE_HINT = re.compile(
+    r"dtype|float64|float32|float16|int64|int32|int16|int8"
+    r"|uint\d*|\bbool(ean)?s?\b|\binteger(s)?\b"
+)
+
+
+def _broad_name(node: Optional[ast.expr]) -> Optional[str]:
+    """The broad exception name an ``except`` clause catches, if any."""
+    if node is None:
+        return "bare except"
+    if isinstance(node, ast.Name) and node.id in _BROAD_NAMES:
+        return node.id
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            name = _broad_name(element)
+            if name is not None:
+                return name
+    return None
+
+
+def _handler_has_outlet(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or records a side effect."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in _SIDE_EFFECT_ATTRS:
+                return True
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    """ROBUST-401: broad except without re-raise or side effect."""
+
+    rule_id = "ROBUST-401"
+    severity = "error"
+    title = "broad except swallows failures silently"
+    rationale = (
+        "PR-1 invariant: failures surface as structured rejections, "
+        "breaker trips, or metrics — a bare/broad except that "
+        "neither re-raises nor records anything hides exactly the "
+        "faults the injection harness exists to exercise."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            name = _broad_name(node.type)
+            if name is None:
+                continue
+            if _handler_has_outlet(node):
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                f"{name} handler neither re-raises nor records a "
+                "metric/log side effect; narrow the exception or "
+                "make the failure observable",
+            )
+
+
+def _returns_array(fn: ast.FunctionDef) -> bool:
+    if fn.returns is None:
+        return False
+    rendered = ast.unparse(fn.returns)
+    return "ndarray" in rendered or "NDArray" in rendered
+
+
+def _public_array_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, ast.FunctionDef]]:
+    """Public module-level functions and class methods returning
+    arrays, as ``(qualified name, node)`` pairs."""
+
+    def visit(body: List[ast.stmt], prefix: str) -> Iterator[
+        Tuple[str, ast.FunctionDef]
+    ]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if not node.name.startswith("_"):
+                    yield from visit(node.body, f"{node.name}.")
+            elif isinstance(node, ast.FunctionDef):
+                if not node.name.startswith("_") and _returns_array(
+                    node
+                ):
+                    yield f"{prefix}{node.name}", node
+
+    yield from visit(tree.body, "")
+
+
+@register
+class ArrayContractRule(Rule):
+    """ROBUST-402: array-returning API without a documented contract."""
+
+    rule_id = "ROBUST-402"
+    severity = "warning"
+    title = "array-returning public function lacks shape/dtype contract"
+    rationale = (
+        "The PR-1 sanitization boundary validates shapes and dtypes "
+        "at the pipeline edge; inside repro.core / repro.geometry "
+        "the contract lives in the docstring so callers (and the "
+        "validator) know what an array-returning kernel guarantees."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(CONTRACT_PACKAGES):
+            return
+        for qualname, fn in _public_array_functions(ctx.tree):
+            doc = (ast.get_docstring(fn) or "").lower()
+            missing = []
+            if not _SHAPE_HINT.search(doc):
+                missing.append("shape")
+            if not _DTYPE_HINT.search(doc):
+                missing.append("dtype")
+            if missing:
+                yield ctx.finding(
+                    self,
+                    fn,
+                    f"{qualname}() returns an array but its "
+                    f"docstring documents no {'/'.join(missing)} "
+                    "contract",
+                )

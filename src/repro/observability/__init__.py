@@ -12,6 +12,11 @@ Three cooperating pieces, all zero-dependency and thread-safe:
   breakdown/energy reports into one serializable run summary
   (:mod:`repro.observability.report`).
 
+The wall clock is injectable: :mod:`repro.observability.clock` holds
+the one sanctioned ``time.time()`` call (:func:`wall_clock`) plus a
+deterministic :class:`FixedClock`; everything that stamps wall time
+takes a ``clock=`` parameter (enforced by the DET-202 lint rule).
+
 Instrumented call sites (:class:`~repro.pipeline.EdgePCPipeline`,
 :class:`~repro.robustness.guard.GuardedPipeline`,
 :class:`~repro.core.streaming.StreamingMortonOrder`,
@@ -21,6 +26,7 @@ Instrumented call sites (:class:`~repro.pipeline.EdgePCPipeline`,
 when telemetry is off.
 """
 
+from repro.observability.clock import Clock, FixedClock, wall_clock
 from repro.observability.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -45,8 +51,10 @@ from repro.observability.tracing import (
 )
 
 __all__ = [
+    "Clock",
     "Counter",
     "DEFAULT_BUCKETS",
+    "FixedClock",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -61,4 +69,5 @@ __all__ = [
     "global_registry",
     "parse_prometheus",
     "reset_global_registry",
+    "wall_clock",
 ]

@@ -1,0 +1,42 @@
+"""Injectable wall-clock shim — the one sanctioned wall-clock read.
+
+Everything outside this module that wants the current Unix time takes
+a ``clock`` callable defaulting to :func:`wall_clock`, so tests,
+replay tooling, and deterministic artifact builds can pin time with a
+:class:`FixedClock`.  The DET-202 lint rule (see
+``docs/static_analysis.md``) enforces that no other module calls
+``time.time()`` / ``datetime.now()`` directly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: A wall-clock source: a zero-argument callable returning Unix
+#: seconds as a float.
+Clock = Callable[[], float]
+
+
+def wall_clock() -> float:
+    """Unix time from the system clock."""
+    return time.time()
+
+
+class FixedClock:
+    """Deterministic :data:`Clock` for tests and replay.
+
+    Returns the same instant until :meth:`advance` moves it, so
+    artifacts built under a ``FixedClock`` are byte-identical across
+    runs.
+    """
+
+    def __init__(self, at: float = 0.0) -> None:
+        self._at = float(at)
+
+    def __call__(self) -> float:
+        return self._at
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward (negative values move it back)."""
+        self._at += seconds

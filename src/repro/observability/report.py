@@ -11,11 +11,11 @@ trajectory consumes.
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from statistics import median
 from typing import Dict, List, Optional
 
+from repro.observability.clock import Clock, wall_clock
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import Tracer
 
@@ -62,17 +62,24 @@ class RunReport:
         metrics: Optional[MetricsRegistry] = None,
         breakdowns=(),
         energies=(),
+        clock: Optional[Clock] = None,
         **meta: object,
     ) -> "RunReport":
         """Collect telemetry objects into one report.
 
         ``breakdowns``/``energies`` accept the profiler dataclasses
         directly; ``meta`` keyword arguments (workload name, config
-        label, batch count ...) are stored verbatim.
+        label, batch count ...) are stored verbatim.  ``clock``
+        supplies the ``created_unix`` stamp and defaults to the
+        :func:`~repro.observability.clock.wall_clock` shim — pass a
+        :class:`~repro.observability.clock.FixedClock` to build
+        byte-identical reports.
         """
         report = cls(meta=dict(meta))
         report.meta.setdefault("schema_version", SCHEMA_VERSION)
-        report.meta.setdefault("created_unix", time.time())
+        report.meta.setdefault(
+            "created_unix", (clock or wall_clock)()
+        )
         if tracer is not None:
             report.spans = [s.to_dict() for s in tracer.finished()]
         if metrics is not None:

@@ -1,0 +1,13 @@
+"""Known-bad kernel fixture: PERF-101/102/103 must all fire."""
+
+import numpy as np
+
+
+def pairwise_d2(points):
+    out = []
+    for i in range(len(points)):
+        row = []
+        for j in range(len(points)):
+            row.append(float(np.sum((points[i] - points[j]) ** 2)))
+        out.append(row)
+    return np.asarray(out)

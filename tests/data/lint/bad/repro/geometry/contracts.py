@@ -1,0 +1,9 @@
+"""Known-bad contract fixture: ROBUST-402 must fire once."""
+
+import numpy as np
+
+
+def unit_normals(vectors: np.ndarray) -> np.ndarray:
+    """Normalize each row vector."""
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors / norms

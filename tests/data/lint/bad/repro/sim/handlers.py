@@ -1,0 +1,16 @@
+"""Known-bad exception fixture: ROBUST-401 must fire twice."""
+
+
+def load_calibration(path):
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except Exception:
+        return None
+
+
+def shutdown(conn):
+    try:
+        conn.close()
+    except:  # intentionally bare for the fixture
+        pass

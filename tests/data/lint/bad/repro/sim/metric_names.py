@@ -1,0 +1,7 @@
+"""Known-bad metric-name fixture: OBS-302 must fire four times."""
+
+
+def record(registry, latency_s):
+    registry.counter("batchCount").inc()
+    registry.counter("frames_seen").inc()
+    registry.histogram("stage_latency").observe(latency_s)

@@ -1,0 +1,12 @@
+"""Known-bad pipeline fixture: OBS-301 must fire twice."""
+
+
+class SilentPipeline:
+    def __init__(self, model):
+        self.model = model
+
+    def infer(self, batch):
+        return self.model(batch)
+
+    def warmup(self, batch):
+        return self.infer(batch)

@@ -1,0 +1,11 @@
+"""Known-bad randomness fixture: DET-201 must fire three times."""
+
+import random
+
+import numpy as np
+
+
+def jitter(points):
+    np.random.seed(0)
+    noise = np.random.rand(*points.shape)
+    return points + noise * random.random()

@@ -1,0 +1,10 @@
+"""Known-bad wall-clock fixture: DET-202 must fire twice."""
+
+import time
+from datetime import datetime
+
+
+def stamp(report):
+    report["created_unix"] = time.time()
+    report["created_iso"] = datetime.now().isoformat()
+    return report

@@ -1,0 +1,18 @@
+"""Known-good kernel fixture: vectorized, silent under every rule."""
+
+import numpy as np
+
+_AXES = (0, 1, 2)
+
+
+def pairwise_d2(points):
+    diff = points[:, None, :] - points[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff)
+
+
+def per_axis_minmax(points):
+    out = np.empty((2, 3), dtype=np.float64)
+    for axis in _AXES:
+        out[0, axis] = points[:, axis].min()
+        out[1, axis] = points[:, axis].max()
+    return out

@@ -1,0 +1,9 @@
+"""Known-good contract fixture: shape and dtype documented."""
+
+import numpy as np
+
+
+def unit_normals(vectors: np.ndarray) -> np.ndarray:
+    """Normalize each row; returns an ``(N, 3)`` float64 array."""
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors / norms

@@ -1,0 +1,17 @@
+"""Known-good exception fixture: narrow catches and observable
+failures."""
+
+
+def load_calibration(path):
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except OSError:
+        return None
+
+
+def shutdown(conn, metrics):
+    try:
+        conn.close()
+    except Exception:
+        metrics.counter("shutdown_failures_total").inc()

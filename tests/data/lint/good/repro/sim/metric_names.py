@@ -1,0 +1,7 @@
+"""Known-good metric-name fixture: docs/observability.md convention."""
+
+
+def record(registry, latency_s):
+    registry.counter("batches_total").inc()
+    registry.histogram("stage_latency_seconds").observe(latency_s)
+    registry.gauge("queue_depth").set(0)

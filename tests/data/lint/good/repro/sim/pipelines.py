@@ -1,0 +1,19 @@
+"""Known-good pipeline fixture: spans on the entry point, delegation
+covering the rest."""
+
+
+class TracedPipeline:
+    def __init__(self, model, tracer):
+        self.model = model
+        self.tracer = tracer
+
+    def infer(self, batch):
+        with self.tracer.span("pipeline.infer", "pipeline"):
+            return self.model(batch)
+
+    def warmup(self, batch):
+        return self.infer(batch)
+
+    @property
+    def name(self):
+        return "traced"

@@ -1,0 +1,10 @@
+"""Known-good randomness fixture: seeded generators only."""
+
+from typing import Optional
+
+import numpy as np
+
+
+def jitter(points, rng: Optional[np.random.Generator] = None):
+    rng = rng or np.random.default_rng(0)
+    return points + rng.random(points.shape)

@@ -1,0 +1,8 @@
+"""Known-good wall-clock fixture: time injected through the shim."""
+
+from repro.observability.clock import wall_clock
+
+
+def stamp(report, clock=wall_clock):
+    report["created_unix"] = clock()
+    return report

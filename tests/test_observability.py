@@ -395,6 +395,24 @@ class TestRunReport:
     def test_empty_report_has_no_medians(self):
         assert RunReport.build().stage_medians_s() == {}
 
+    def test_creation_time_is_injectable(self):
+        from repro.observability import FixedClock
+
+        report = RunReport.build(clock=FixedClock(123.0))
+        assert report.meta["created_unix"] == 123.0
+
+    def test_fixed_clock_advances(self):
+        from repro.observability import FixedClock
+
+        clock = FixedClock(10.0)
+        assert clock() == 10.0
+        clock.advance(2.5)
+        assert clock() == 12.5
+
+    def test_default_clock_is_wall_time(self):
+        report = RunReport.build()
+        assert report.meta["created_unix"] > 1.6e9
+
 
 class TestDisabledTracingOverhead:
     """The acceptance criterion: a pipeline without a tracer must not
