@@ -17,7 +17,10 @@ Commands:
   ``trace_event`` / JSONL spans, a metrics snapshot, a merged run
   report, and a BENCH per-stage-medians file;
 - ``metrics``  — print the metrics snapshot of a workload smoke in
-  Prometheus text or JSON form.
+  Prometheus text or JSON form;
+- ``bench``    — time the batched kernels against per-cloud loops and
+  optionally gate against a committed ``BENCH_kernels.json`` baseline;
+- ``lint``     — project-aware static analysis.
 
 ``profile``, ``compare``, and ``sample`` additionally accept
 ``--trace-out`` / ``--metrics-out`` to export the telemetry of that
@@ -494,6 +497,44 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Batched-vs-looped kernel micro-benchmarks with a CI gate."""
+    from repro.bench import (
+        compare_with_baseline,
+        format_results,
+        run_suite,
+    )
+
+    results = run_suite(
+        batch=args.batch,
+        points=args.points,
+        k=args.k,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(format_results(results))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote kernel bench -> {args.out}")
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        problems = compare_with_baseline(
+            results, baseline, args.tolerance
+        )
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"bench gate passed vs {args.baseline} "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Project-aware static analysis (see docs/static_analysis.md)."""
     from repro.lint import run_lint
@@ -660,6 +701,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="write to a file instead of stdout",
     )
     metrics_cmd.set_defaults(func=cmd_metrics)
+
+    bench_cmd = sub.add_parser(
+        "bench",
+        help="time batched kernels vs per-cloud loops; optionally "
+        "gate against a committed baseline",
+    )
+    bench_cmd.add_argument(
+        "--batch", type=int, default=8,
+        help="clouds per batch (default 8)",
+    )
+    bench_cmd.add_argument(
+        "--points", type=int, default=1024,
+        help="points per cloud (default 1024)",
+    )
+    bench_cmd.add_argument(
+        "--k", type=int, default=16,
+        help="neighbors per query (default 16)",
+    )
+    bench_cmd.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repeats per kernel; best is kept (default 5)",
+    )
+    bench_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="input-generation seed (default 0)",
+    )
+    bench_cmd.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON result document to FILE",
+    )
+    bench_cmd.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="committed BENCH_kernels.json to gate against; exit 1 "
+        "when a kernel's speedup regresses past the tolerance",
+    )
+    bench_cmd.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="allowed fractional drop below the baseline speedup "
+        "(default 0.5)",
+    )
+    bench_cmd.set_defaults(func=cmd_bench)
 
     lint_cmd = sub.add_parser(
         "lint",

@@ -89,22 +89,25 @@ def compact_bits(codes: np.ndarray) -> np.ndarray:
 
 
 def encode(cells: np.ndarray) -> np.ndarray:
-    """Interleave ``(N, 3)`` integer cell coordinates into Morton codes.
+    """Interleave ``(..., 3)`` integer cell coordinates into Morton
+    codes, returning an int64 array of the leading shape (``(N,)`` for
+    a single cloud, ``(B, N)`` for a batch in one dispatch).
 
     Axis order follows the paper's worked example: x occupies the least
     significant interleaved bit, then y, then z.
     """
     cells = np.asarray(cells)
-    if cells.ndim != 2 or cells.shape[1] != 3:
-        raise ValueError(f"expected (N, 3) cells, got {cells.shape}")
-    x = spread_bits(cells[:, 0])
-    y = spread_bits(cells[:, 1])
-    z = spread_bits(cells[:, 2])
+    if cells.ndim < 2 or cells.shape[-1] != 3:
+        raise ValueError(f"expected (..., 3) cells, got {cells.shape}")
+    x = spread_bits(cells[..., 0])
+    y = spread_bits(cells[..., 1])
+    z = spread_bits(cells[..., 2])
     return x | (y << 1) | (z << 2)
 
 
 def decode(codes: np.ndarray) -> np.ndarray:
-    """Recover ``(N, 3)`` integer cells from Morton codes."""
+    """Recover ``(..., 3)`` int64 integer cells from an array of
+    Morton codes of any shape."""
     codes = np.asarray(codes, dtype=np.int64)
     if np.any(codes < 0):
         raise ValueError("Morton codes must be non-negative")
@@ -114,7 +117,7 @@ def decode(codes: np.ndarray) -> np.ndarray:
             compact_bits(codes >> 1),
             compact_bits(codes >> 2),
         ],
-        axis=1,
+        axis=-1,
     )
 
 

@@ -15,15 +15,23 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.batched import (
+    BatchedMortonOrder,
+    _per_cloud,
+    structurize_batch,
+)
 from repro.core.structurize import MortonOrder, structurize
 from repro.core import morton
+from repro.core.workspace import Workspace
 from repro.robustness.validate import ensure_finite
 
 
 def window_ranks(
     query_ranks: np.ndarray, window: int, num_points: int
 ) -> np.ndarray:
-    """``(Q, W)`` int64 candidate ranks around each query rank.
+    """``(..., W)`` int64 candidate ranks around each query rank:
+    ``(Q, W)`` for a ``(Q,)`` input, ``(B, Q, W)`` for a batched
+    ``(B, Q)`` input.
 
     Windows are shifted (not truncated) at the array boundaries so every
     query sees exactly ``W`` distinct candidates, mirroring how a CUDA
@@ -36,7 +44,7 @@ def window_ranks(
     query_ranks = np.asarray(query_ranks, dtype=np.int64)
     start = query_ranks - window // 2
     start = np.clip(start, 0, num_points - window)
-    return start[:, None] + np.arange(window, dtype=np.int64)[None, :]
+    return start[..., None] + np.arange(window, dtype=np.int64)
 
 
 class MortonNeighborSearch:
@@ -48,6 +56,10 @@ class MortonNeighborSearch:
             defaults to ``k`` (the pure index-selection mode).
         code_bits: Morton code width used if a cloud must be
             structurized from scratch.
+        workspace: optional :class:`~repro.core.workspace.Workspace`
+            supplying the gather/distance scratch buffers; a private
+            pool is created when omitted.  Pass the model's shared pool
+            so steady-state serving reuses the same pages every frame.
     """
 
     def __init__(
@@ -55,6 +67,7 @@ class MortonNeighborSearch:
         k: int,
         window: Optional[int] = None,
         code_bits: int = morton.DEFAULT_CODE_BITS,
+        workspace: Optional[Workspace] = None,
     ) -> None:
         if k < 1:
             raise ValueError("k must be positive")
@@ -65,6 +78,7 @@ class MortonNeighborSearch:
         self.k = k
         self.window = window
         self.code_bits = code_bits
+        self.workspace = workspace or Workspace()
 
     def search_ranks(
         self,
@@ -74,30 +88,19 @@ class MortonNeighborSearch:
     ) -> np.ndarray:
         """Neighbors for queries given by *sorted rank*.
 
+        Thin ``B=1`` wrapper around :meth:`search_ranks_batch`, so the
+        per-cloud and batched paths share one kernel.
+
         Returns ``(Q, k)`` int64 original-point indices.
         """
         points = np.asarray(points, dtype=np.float64)
-        if len(order) != points.shape[0]:
-            raise ValueError("Morton order does not match the point count")
-        n = len(order)
-        if self.window > n:
-            raise ValueError(
-                f"window {self.window} exceeds point count {n}"
-            )
-        candidates = window_ranks(query_ranks, self.window, n)
-        if self.window == self.k:
-            picked = candidates
-        else:
-            sorted_xyz = order.sorted_points(points)
-            cand_xyz = sorted_xyz[candidates]  # (Q, W, 3)
-            query_xyz = sorted_xyz[np.asarray(query_ranks)]
-            d2 = np.sum(
-                (cand_xyz - query_xyz[:, None, :]) ** 2, axis=2
-            )
-            pick = np.argsort(d2, axis=1, kind="stable")[:, : self.k]
-            rows = np.arange(candidates.shape[0])[:, None]
-            picked = candidates[rows, pick]
-        return order.original_index_of(picked)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError(f"expected (N, 3) points, got {points.shape}")
+        return self.search_ranks_batch(
+            points[None],
+            BatchedMortonOrder.from_single(order),
+            np.asarray(query_ranks, dtype=np.int64),
+        )[0]
 
     def search(
         self,
@@ -136,10 +139,139 @@ class MortonNeighborSearch:
         query_ranks = order.rank_of(np.asarray(query_indices))
         return self.search_ranks(points, order, query_ranks)
 
+    # Batched variants (one NumPy dispatch for the whole batch) ---------
+
+    def search_ranks_batch(
+        self,
+        points: np.ndarray,
+        order: BatchedMortonOrder,
+        query_ranks: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`search_ranks`: queries by *sorted rank* over
+        a ``(B, N, 3)`` batch.
+
+        ``query_ranks`` may be ``(Q,)`` (shared across the batch, e.g.
+        the uniform stride picks) or ``(B, Q)``.  :meth:`search_ranks`
+        is a ``B=1`` wrapper around this kernel, so the per-cloud and
+        batched paths are identical by construction.
+
+        Returns ``(B, Q, k)`` int64 original-point indices.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 3 or points.shape[2] != 3:
+            raise ValueError(
+                f"expected (B, N, 3) points, got {points.shape}"
+            )
+        if (
+            order.num_clouds != points.shape[0]
+            or len(order) != points.shape[1]
+        ):
+            raise ValueError("Morton order does not match the point count")
+        n = len(order)
+        if self.window > n:
+            raise ValueError(
+                f"window {self.window} exceeds point count {n}"
+            )
+        num_clouds = points.shape[0]
+        query_ranks = _per_cloud(query_ranks, num_clouds)
+        candidates = window_ranks(query_ranks, self.window, n)
+        if self.window == self.k:
+            picked = candidates
+        else:
+            workspace = self.workspace
+            sorted_xyz = order.sorted_points(points)
+            # Flat gather into pooled scratch: one advanced index on
+            # axis 0 is markedly faster than a (rows, candidates)
+            # multi-axis fancy index, and reusing the pool's pages
+            # avoids re-faulting multi-MB allocations every call.
+            flat_idx = workspace.buffer(
+                "window.idx", candidates.shape, np.int64
+            )
+            np.add(
+                candidates,
+                (np.arange(num_clouds, dtype=np.int64) * n)[
+                    :, None, None
+                ],
+                out=flat_idx,
+            )
+            cand_xyz = workspace.buffer(
+                "window.cand", candidates.shape + (3,), np.float64
+            )
+            np.take(
+                sorted_xyz.reshape(-1, 3),
+                flat_idx.reshape(-1),
+                axis=0,
+                out=cand_xyz.reshape(-1, 3),
+                # Indices are window ranks, clipped in-bounds by
+                # construction; "clip" selects NumPy's no-recheck fast
+                # path for the out= gather.
+                mode="clip",
+            )
+            query_xyz = np.take_along_axis(
+                sorted_xyz, query_ranks[:, :, None], axis=1
+            )
+            cand_xyz -= query_xyz[:, :, None, :]
+            # einsum fuses square-and-reduce into one pass over the
+            # differences; exact ties (duplicate points) still compare
+            # equal, so the stable argsort keeps window order for them.
+            d2 = workspace.buffer(
+                "window.d2", candidates.shape, np.float64
+            )
+            np.einsum("bqwc,bqwc->bqw", cand_xyz, cand_xyz, out=d2)
+            pick = np.argsort(d2, axis=2, kind="stable")[:, :, : self.k]
+            picked = np.take_along_axis(candidates, pick, axis=2)
+        flat = picked.reshape(num_clouds, -1)
+        original = np.take_along_axis(order.permutation, flat, axis=1)
+        return original.reshape(picked.shape)
+
+    def search_batch(
+        self,
+        points: np.ndarray,
+        query_indices: Optional[np.ndarray] = None,
+        order: Optional[BatchedMortonOrder] = None,
+    ) -> np.ndarray:
+        """Batched :meth:`search`: queries by *original index* over a
+        ``(B, N, 3)`` batch in single NumPy dispatches.
+
+        Args:
+            points: ``(B, N, 3)`` batch of clouds.
+            query_indices: ``(B, Q)`` (or shared ``(Q,)``) original
+                indices to query; all points when omitted.
+            order: precomputed :class:`BatchedMortonOrder` to reuse;
+                structurized from scratch when omitted.
+
+        Returns:
+            ``(B, Q, k)`` int64 original-point indices, bit-identical
+            to looping :meth:`search` per cloud.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 3 or points.shape[2] != 3:
+            raise ValueError(
+                f"expected (B, N, 3) points, got {points.shape}"
+            )
+        if order is None:
+            order = structurize_batch(points, self.code_bits)
+        else:
+            # structurize_batch() validates its own input; a
+            # precomputed order bypasses it, so check here.
+            ensure_finite(points.reshape(-1, 3), "search")
+        if query_indices is None:
+            query_ranks = np.arange(len(order), dtype=np.int64)
+            # All points queried in rank order: remap output rows back
+            # to original order below.
+            result = self.search_ranks_batch(points, order, query_ranks)
+            out = np.empty_like(result)
+            np.put_along_axis(
+                out, order.permutation[:, :, None], result, axis=1
+            )
+            return out
+        query_ranks = order.rank_of(query_indices)
+        return self.search_ranks_batch(points, order, query_ranks)
+
     def operation_count(self, num_queries: int) -> int:
-        """Distance evaluations performed: ``Q`` for pure indexing
-        (one gather per neighbor, priced as O(k) <= O(W)), else
-        ``Q * W``."""
+        """Operations the cost model prices: ``Q * k`` in pure-indexing
+        mode (``W == k``: no distance math, one gather per returned
+        neighbor), else ``Q * W`` windowed distance evaluations."""
         if num_queries < 0:
             raise ValueError("num_queries must be non-negative")
         if self.window == self.k:

@@ -17,6 +17,11 @@ from typing import Optional
 import numpy as np
 
 from repro.core import morton
+from repro.core.batched import (
+    BatchedMortonOrder,
+    BatchedSampleResult,
+    sample_batch,
+)
 from repro.core.structurize import MortonOrder, structurize
 from repro.geometry.bbox import BoundingBox
 from repro.robustness.validate import ensure_finite
@@ -89,6 +94,23 @@ class MortonSampler:
             sampled_ranks=ranks,
         )
 
+    def sample_batch(
+        self,
+        points: np.ndarray,
+        num_samples: int,
+        order: Optional[BatchedMortonOrder] = None,
+    ) -> BatchedSampleResult:
+        """Batched :meth:`sample`: Algorithm 1 over a ``(B, N, 3)``
+        batch in single NumPy dispatches, bit-identical to looping
+        :meth:`sample` per cloud."""
+        return sample_batch(
+            points,
+            num_samples,
+            self.code_bits,
+            self.bounding_box,
+            order,
+        )
+
 
 class MortonUpsampler:
     """Approximate interpolation for FP modules (paper 'Optimizing
@@ -110,7 +132,9 @@ class MortonUpsampler:
         self.num_anchors = num_anchors
 
     def candidate_sample_slots(
-        self, num_points: int, sample_result: MortonSampleResult
+        self,
+        num_points: int,
+        sample_result: MortonSampleResult | BatchedSampleResult,
     ) -> np.ndarray:
         """``(N, num_candidates)`` int64 sample slots per sorted rank.
 
@@ -170,6 +194,50 @@ class MortonUpsampler:
         anchor_d2 = d2[rows, pick]
         inv = 1.0 / np.maximum(anchor_d2, 1e-10)
         weights = inv / inv.sum(axis=1, keepdims=True)
+        return anchor_slots, weights
+
+    def interpolation_weights_batch(
+        self,
+        points: np.ndarray,
+        sample_result: BatchedSampleResult,
+    ) -> tuple:
+        """Batched :meth:`interpolation_weights` over ``(B, N, 3)``.
+
+        Returns:
+            ``(anchor_slots, weights)`` of shape
+            ``(B, N, num_anchors)``, bit-identical to looping
+            :meth:`interpolation_weights` per cloud.  Rows follow each
+            cloud's *sorted* order, as in the per-cloud method.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        order = sample_result.order
+        if points.ndim != 3 or points.shape[2] != 3:
+            raise ValueError(
+                f"expected (B, N, 3) points, got {points.shape}"
+            )
+        if (
+            order.num_clouds != points.shape[0]
+            or len(order) != points.shape[1]
+        ):
+            raise ValueError("order does not match point count")
+        n_points = points.shape[1]
+        slots = self.candidate_sample_slots(n_points, sample_result)
+        sorted_points = order.sorted_points(points)
+        sampled_xyz = np.take_along_axis(
+            points, sample_result.indices[:, :, None], axis=1
+        )
+        candidates = sampled_xyz[:, slots]  # (B, N, C, 3)
+        d2 = np.sum(
+            (candidates - sorted_points[:, :, None, :]) ** 2, axis=3
+        )
+        pick = np.argsort(d2, axis=2, kind="stable")
+        pick = pick[:, :, : self.num_anchors]
+        anchor_slots = np.take_along_axis(
+            np.broadcast_to(slots, d2.shape), pick, axis=2
+        )
+        anchor_d2 = np.take_along_axis(d2, pick, axis=2)
+        inv = 1.0 / np.maximum(anchor_d2, 1e-10)
+        weights = inv / inv.sum(axis=2, keepdims=True)
         return anchor_slots, weights
 
     def interpolate(

@@ -203,6 +203,76 @@ class ScalarFloatBoxingRule(Rule):
                 )
 
 
+#: Names that conventionally hold the batch extent.  A ``for`` loop
+#: over ``range()`` of one of these (or of ``<expr>.shape[0]``) is the
+#: per-cloud dispatch shape the batched kernel layer replaced.
+BATCH_NAMES = frozenset(
+    {
+        "batch",
+        "batch_size",
+        "num_batches",
+        "n_batches",
+        "nbatch",
+        "batches",
+        "num_clouds",
+        "n_clouds",
+    }
+)
+
+
+def _is_batch_extent(node: ast.AST) -> bool:
+    """``batch``-style name or a ``<expr>.shape[0]`` subscript."""
+    if isinstance(node, ast.Name):
+        return node.id in BATCH_NAMES
+    if isinstance(node, ast.Subscript):
+        index = node.slice
+        return (
+            isinstance(node.value, ast.Attribute)
+            and node.value.attr == "shape"
+            and isinstance(index, ast.Constant)
+            and index.value == 0
+        )
+    return False
+
+
+@register
+class PerBatchLoopRule(Rule):
+    """PERF-104: a per-cloud Python loop over the batch dimension."""
+
+    rule_id = "PERF-104"
+    severity = "warning"
+    title = "per-cloud Python loop over the batch dimension"
+    rationale = (
+        "The batched kernel layer dispatches whole (B, N, 3) batches "
+        "in single NumPy calls; `for b in range(batch)` re-enters the "
+        "interpreter once per cloud and pays B dispatch overheads. "
+        "Call the *_batch kernel, or keep chunked loops to 3-arg "
+        "range(start, stop, step) strides."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not in_hot_kernel(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.For) and isinstance(node.iter, ast.Call)):
+                continue
+            call = node.iter
+            if not (
+                isinstance(call.func, ast.Name)
+                and call.func.id == "range"
+                and len(call.args) == 1
+            ):
+                continue
+            if _is_batch_extent(call.args[0]):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "Python loop over the batch dimension; use the "
+                    "batched (B, N, ...) kernel instead of a "
+                    "per-cloud range() loop",
+                )
+
+
 def _calls_in_any_loop(tree: ast.AST) -> Iterator[ast.Call]:
     """Call nodes inside at least one loop body, each yielded once
     (loop headers excluded)."""

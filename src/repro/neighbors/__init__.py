@@ -1,5 +1,6 @@
 """Exact neighbor-search baselines and quality metrics."""
 
+from repro.neighbors.batched import ball_query_batch, knn_batch
 from repro.neighbors.brute import ball_query, knn, pairwise_operation_count
 from repro.neighbors.grid import UniformGridIndex
 from repro.neighbors.kdtree import KDTree
@@ -12,7 +13,9 @@ from repro.neighbors.metrics import (
 
 __all__ = [
     "ball_query",
+    "ball_query_batch",
     "knn",
+    "knn_batch",
     "pairwise_operation_count",
     "KDTree",
     "UniformGridIndex",

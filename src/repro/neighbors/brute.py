@@ -17,21 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-_CHUNK = 2048
-
-
-def _squared_distances(queries: np.ndarray, candidates: np.ndarray):
-    """Yield ``(lo, d2_block)`` chunks of the Q x N distance matrix."""
-    c_sq = np.sum(candidates**2, axis=1)[None, :]
-    for lo in range(0, queries.shape[0], _CHUNK):
-        block = queries[lo : lo + _CHUNK]
-        d2 = (
-            np.sum(block**2, axis=1)[:, None]
-            - 2.0 * block @ candidates.T
-            + c_sq
-        )
-        np.maximum(d2, 0.0, out=d2)
-        yield lo, d2
+from repro.neighbors.batched import ball_query_batch, knn_batch
 
 
 def _validate(queries: np.ndarray, candidates: np.ndarray, k: int):
@@ -56,21 +42,13 @@ def knn(
     Works in any dimensionality — DGCNN's later EdgeConv modules run kNN
     in feature space (paper Sec. 5.2.3), not just on xyz.
 
+    Thin ``B=1`` wrapper over
+    :func:`repro.neighbors.batched.knn_batch`.
+
     Returns ``(Q, k)`` candidate indices sorted by ascending distance.
     """
     queries, candidates = _validate(queries, candidates, k)
-    out = np.empty((queries.shape[0], k), dtype=np.int64)
-    for lo, d2 in _squared_distances(queries, candidates):
-        if k < d2.shape[1]:
-            part = np.argpartition(d2, k - 1, axis=1)[:, :k]
-        else:
-            part = np.broadcast_to(
-                np.arange(d2.shape[1]), (d2.shape[0], d2.shape[1])
-            ).copy()
-        row = np.arange(d2.shape[0])[:, None]
-        order = np.argsort(d2[row, part], axis=1, kind="stable")
-        out[lo : lo + d2.shape[0]] = part[row, order]
-    return out
+    return knn_batch(queries[None], candidates[None], k)[0]
 
 
 def ball_query(
@@ -85,25 +63,12 @@ def ball_query(
     ``<= radius`` are returned in candidate-scan order; short rows are
     padded by repeating the first in-radius hit (or the nearest
     candidate if the ball is empty).
+
+    Thin ``B=1`` wrapper over
+    :func:`repro.neighbors.batched.ball_query_batch`.
     """
     queries, candidates = _validate(queries, candidates, k)
-    if radius <= 0:
-        raise ValueError("radius must be positive")
-    r2 = radius * radius
-    out = np.empty((queries.shape[0], k), dtype=np.int64)
-    for lo, d2 in _squared_distances(queries, candidates):
-        inside = d2 <= r2
-        for i in range(d2.shape[0]):
-            hits = np.flatnonzero(inside[i])
-            if hits.size == 0:
-                out[lo + i] = int(np.argmin(d2[i]))
-            elif hits.size >= k:
-                out[lo + i] = hits[:k]
-            else:
-                row = np.full(k, hits[0], dtype=np.int64)
-                row[: hits.size] = hits
-                out[lo + i] = row
-    return out
+    return ball_query_batch(queries[None], candidates[None], radius, k)[0]
 
 
 def pairwise_operation_count(num_queries: int, num_candidates: int) -> int:

@@ -26,7 +26,8 @@ import numpy as np
 from repro.core.neighbor import MortonNeighborSearch
 from repro.core.pipeline import EdgePCConfig
 from repro.core.reuse import NeighborCache
-from repro.neighbors.brute import knn
+from repro.core.workspace import Workspace
+from repro.neighbors.batched import knn_batch
 from repro.nn.autograd import Tensor, concatenate
 from repro.nn.functional import edge_features, max_pool_neighbors
 from repro.nn.layers import Dropout, Linear, Module, shared_mlp
@@ -50,6 +51,7 @@ class EdgeConv(Module):
         k: int,
         edgepc: EdgePCConfig,
         rng: Optional[np.random.Generator] = None,
+        workspace: Optional[Workspace] = None,
     ) -> None:
         super().__init__()
         if k < 1:
@@ -61,6 +63,7 @@ class EdgeConv(Module):
         self.mlp_channels = channels
         self.mlp = shared_mlp(channels, rng=rng, activation="leaky_relu")
         self.out_channels = channels[-1]
+        self.workspace = workspace or Workspace()
 
     def _graph(
         self,
@@ -85,11 +88,9 @@ class EdgeConv(Module):
         ):
             window = min(n_points, self.edgepc.window_for(self.k))
             searcher = MortonNeighborSearch(
-                self.k, window, self.edgepc.code_bits
+                self.k, window, self.edgepc.code_bits, self.workspace
             )
-            out = np.stack(
-                [searcher.search(xyz[b]) for b in range(batch)]
-            )
+            out = searcher.search_batch(xyz)
             recorder.record(
                 STAGE_NEIGHBOR, "morton_gen", 0,
                 n_points=n_points, batch=batch,
@@ -109,9 +110,7 @@ class EdgeConv(Module):
                 else features.data
             )
             dim = space.shape[2]
-            out = np.stack(
-                [knn(space[b], space[b], self.k) for b in range(batch)]
-            )
+            out = knn_batch(space, space, self.k, self.workspace)
             recorder.record(
                 STAGE_NEIGHBOR, "knn", self.layer_index,
                 n_queries=n_points, n_candidates=n_points,
@@ -164,12 +163,16 @@ class _DGCNNBackbone(Module):
         k: int,
         edgepc: EdgePCConfig,
         rng: np.random.Generator,
+        workspace: Optional[Workspace] = None,
     ) -> None:
         super().__init__()
         self.ec_modules: List[EdgeConv] = []
+        workspace = workspace or Workspace()
         channels = in_channels
         for i, out_channels in enumerate(ec_channels):
-            module = EdgeConv(i, channels, out_channels, k, edgepc, rng)
+            module = EdgeConv(
+                i, channels, out_channels, k, edgepc, rng, workspace
+            )
             setattr(self, f"ec{i}", module)
             self.ec_modules.append(module)
             channels = module.out_channels
@@ -208,8 +211,9 @@ class DGCNNClassifier(Module):
         rng = rng or np.random.default_rng(0)
         self.edgepc = edgepc or EdgePCConfig.baseline()
         self.num_classes = num_classes
+        self.workspace = Workspace()
         self.backbone = _DGCNNBackbone(
-            3, ec_channels, k, self.edgepc, rng
+            3, ec_channels, k, self.edgepc, rng, self.workspace
         )
         self.embedding = Linear(
             self.backbone.concat_channels, emb_channels, rng=rng
@@ -267,8 +271,9 @@ class DGCNNSegmentation(Module):
         rng = rng or np.random.default_rng(0)
         self.edgepc = edgepc or EdgePCConfig.baseline()
         self.num_classes = num_classes
+        self.workspace = Workspace()
         self.backbone = _DGCNNBackbone(
-            3, ec_channels, k, self.edgepc, rng
+            3, ec_channels, k, self.edgepc, rng, self.workspace
         )
         self.embedding = Linear(
             self.backbone.concat_channels, emb_channels, rng=rng

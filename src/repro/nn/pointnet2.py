@@ -22,18 +22,19 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batched import BatchedSampleResult
 from repro.core.neighbor import MortonNeighborSearch
 from repro.core.pipeline import EdgePCConfig
 from repro.core.sampler import (
-    MortonSampleResult,
     MortonSampler,
     MortonUpsampler,
     exact_interpolate,
 )
-from repro.core.structurize import MortonOrder
-from repro.neighbors.brute import ball_query
+from repro.core.workspace import Workspace
+from repro.neighbors.batched import ball_query_batch
 from repro.nn.autograd import Tensor, concatenate
 from repro.nn.functional import (
+    gather_points,
     group_points,
     max_pool_neighbors,
     relative_neighborhoods,
@@ -47,7 +48,7 @@ from repro.nn.recorder import (
     NullRecorder,
     StageRecorder,
 )
-from repro.sampling.fps import farthest_point_sample
+from repro.sampling.fps import farthest_point_sample_batch
 
 
 @dataclass(frozen=True)
@@ -112,7 +113,7 @@ class _LevelState:
 
     xyz: np.ndarray  # (B, N_l, 3)
     features: Tensor  # (B, N_l, C_l)
-    sample_results: Optional[List[MortonSampleResult]] = None
+    sample_result: Optional[BatchedSampleResult] = None
     sampled_indices: Optional[np.ndarray] = None  # (B, n) into parent
 
 
@@ -126,6 +127,7 @@ class SetAbstraction(Module):
         config: SAConfig,
         edgepc: EdgePCConfig,
         rng: Optional[np.random.Generator] = None,
+        workspace: Optional[Workspace] = None,
     ) -> None:
         super().__init__()
         self.layer_index = layer_index
@@ -137,28 +139,20 @@ class SetAbstraction(Module):
         self.mlp = shared_mlp(channels, rng=rng)
         self.out_channels = channels[-1]
         self._morton_sampler = MortonSampler(edgepc.code_bits)
+        self.workspace = workspace or Workspace()
 
     # Index computation (NumPy, outside autograd) -----------------------
 
     def _sample(
         self, xyz: np.ndarray, recorder: StageRecorder
-    ) -> Tuple[np.ndarray, List[Optional[MortonSampleResult]]]:
+    ) -> Tuple[np.ndarray, Optional[BatchedSampleResult]]:
         batch, n_points, _ = xyz.shape
         n_out = max(1, int(round(n_points * self.config.ratio)))
-        indices = np.empty((batch, n_out), dtype=np.int64)
-        results: List[Optional[MortonSampleResult]] = []
-        use_morton = self.edgepc.uses_morton_sampling(self.layer_index)
-        for b in range(batch):
-            if use_morton:
-                result = self._morton_sampler.sample(xyz[b], n_out)
-                indices[b] = result.indices
-                results.append(result)
-            else:
-                indices[b] = farthest_point_sample(
-                    xyz[b], n_out, start_index=0
-                )
-                results.append(None)
-        if use_morton:
+        if self.edgepc.uses_morton_sampling(self.layer_index):
+            result: Optional[BatchedSampleResult] = (
+                self._morton_sampler.sample_batch(xyz, n_out)
+            )
+            indices = result.indices
             recorder.record(
                 STAGE_SAMPLE, "morton_gen", self.layer_index,
                 n_points=n_points, batch=batch,
@@ -172,38 +166,38 @@ class SetAbstraction(Module):
                 n_samples=n_out, batch=batch,
             )
         else:
+            result = None
+            indices = farthest_point_sample_batch(
+                xyz, n_out, start_index=0
+            )
             recorder.record(
                 STAGE_SAMPLE, "fps", self.layer_index,
                 n_points=n_points, n_samples=n_out, batch=batch,
             )
-        return indices, results
+        return indices, result
 
     def _neighbors(
         self,
         xyz: np.ndarray,
         sampled: np.ndarray,
-        sample_results: List[Optional[MortonSampleResult]],
+        sample_result: Optional[BatchedSampleResult],
         recorder: StageRecorder,
     ) -> np.ndarray:
         batch, n_points, _ = xyz.shape
         n_out = sampled.shape[1]
         k = self.config.k
-        out = np.empty((batch, n_out, k), dtype=np.int64)
         if self.edgepc.uses_morton_neighbors(self.layer_index):
             window = min(n_points, self.edgepc.window_for(k))
             searcher = MortonNeighborSearch(
-                k, window, self.edgepc.code_bits
+                k, window, self.edgepc.code_bits, self.workspace
             )
-            fresh_order = False
-            for b in range(batch):
-                order: Optional[MortonOrder] = None
-                if sample_results[b] is not None:
-                    # Reuse the sampler's Morton codes (Sec. 5.2.3).
-                    order = sample_results[b].order
-                else:
-                    fresh_order = True
-                out[b] = searcher.search(xyz[b], sampled[b], order)
-            if fresh_order:
+            if sample_result is not None:
+                # Reuse the sampler's Morton codes (Sec. 5.2.3).
+                out = searcher.search_batch(
+                    xyz, sampled, sample_result.order
+                )
+            else:
+                out = searcher.search_batch(xyz, sampled)
                 recorder.record(
                     STAGE_NEIGHBOR, "morton_gen", self.layer_index,
                     n_points=n_points, batch=batch,
@@ -217,10 +211,12 @@ class SetAbstraction(Module):
                 n_queries=n_out, window=window, k=k, batch=batch,
             )
         else:
-            for b in range(batch):
-                out[b] = ball_query(
-                    xyz[b, sampled[b]], xyz[b], self.config.radius, k
-                )
+            centers = np.take_along_axis(
+                xyz, sampled[:, :, None], axis=1
+            )
+            out = ball_query_batch(
+                centers, xyz, self.config.radius, k, self.workspace
+            )
             recorder.record(
                 STAGE_NEIGHBOR, "ball_query", self.layer_index,
                 n_queries=n_out, n_candidates=n_points, k=k, batch=batch,
@@ -247,9 +243,9 @@ class SetAbstraction(Module):
             the sample results the matching FP module may reuse.
         """
         recorder = NullRecorder() if recorder is None else recorder
-        sampled, sample_results = self._sample(xyz, recorder)
+        sampled, sample_result = self._sample(xyz, recorder)
         neighbor_idx = self._neighbors(
-            xyz, sampled, sample_results, recorder
+            xyz, sampled, sample_result, recorder
         )
         if self.edgepc.sorted_grouping:
             # Sec. 5.4.2: row-sorting is a no-op for the max-pooled
@@ -271,11 +267,11 @@ class SetAbstraction(Module):
             rows=batch * n_out * k,
         )
         pooled = max_pool_neighbors(out)
-        new_xyz = np.stack([xyz[b, sampled[b]] for b in range(batch)])
+        new_xyz = np.take_along_axis(xyz, sampled[:, :, None], axis=1)
         state = _LevelState(
             xyz=new_xyz,
             features=pooled,
-            sample_results=[r for r in sample_results],
+            sample_result=sample_result,
             sampled_indices=sampled,
         )
         return new_xyz, pooled, state
@@ -323,43 +319,32 @@ class FeaturePropagation(Module):
         batch, n_fine, _ = fine_xyz.shape
         n_coarse = coarse_features.shape[1]
         use_morton = self.edgepc.uses_morton_upsampling(self.layer_index)
-        rows: List[Tensor] = []
-        for b in range(batch):
-            feats_b = coarse_features[(b,)]  # (n, C)
-            result = (
-                sa_state.sample_results[b]
-                if sa_state.sample_results is not None
-                else None
+        result = sa_state.sample_result
+        if use_morton and result is not None:
+            anchors, weights = (
+                self._upsampler.interpolation_weights_batch(
+                    fine_xyz, result
+                )
             )
-            if use_morton and result is not None:
-                anchors, weights = self._upsampler.interpolation_weights(
-                    fine_xyz[b], result
-                )
-                picked = feats_b.take(anchors, axis=0)  # (N, A, C)
-                mixed = (picked * Tensor(weights[:, :, None])).sum(axis=1)
-                # interpolation_weights rows follow sorted order;
-                # scatter back to the original order.
-                unsort = np.empty(n_fine, dtype=np.int64)
-                unsort[result.order.permutation] = np.arange(n_fine)
-                rows.append(mixed.take(unsort, axis=0))
-            else:
-                interpolated = _exact_interpolate_tensor(
-                    fine_xyz[b],
-                    sa_state.sampled_indices[b],
-                    feats_b,
-                )
-                rows.append(interpolated)
-        if use_morton and sa_state.sample_results is not None:
+            picked = group_points(coarse_features, anchors)
+            mixed = (picked * Tensor(weights[:, :, :, None])).sum(axis=2)
+            # interpolation_weights rows follow sorted order; gather by
+            # rank to restore the original order.
+            upsampled = gather_points(mixed, result.order.ranks)
             recorder.record(
                 STAGE_SAMPLE, "interp_morton", self.layer_index,
                 n_points=n_fine, batch=batch,
             )
         else:
+            upsampled = _exact_interpolate_tensor(
+                fine_xyz,
+                sa_state.sampled_indices,
+                coarse_features,
+            )
             recorder.record(
                 STAGE_SAMPLE, "interp_exact", self.layer_index,
                 n_points=n_fine, n_samples=n_coarse, batch=batch,
             )
-        upsampled = _stack_rows(rows)
         merged = concatenate([upsampled, fine_features], axis=2)
         out = self.mlp(merged)
         _record_matmuls(
@@ -374,27 +359,24 @@ class FeaturePropagation(Module):
 def _exact_interpolate_tensor(
     fine_xyz: np.ndarray, sampled_indices: np.ndarray, features: Tensor
 ) -> Tensor:
-    """Differentiable 3-NN inverse-distance interpolation (SOTA FP)."""
-    sampled_xyz = fine_xyz[sampled_indices]
+    """Differentiable 3-NN inverse-distance interpolation (SOTA FP),
+    batched: ``(B, N, 3)`` points, ``(B, n)`` sampled indices, and
+    ``(B, n, C)`` features to ``(B, N, C)``."""
+    sampled_xyz = np.take_along_axis(
+        fine_xyz, sampled_indices[:, :, None], axis=1
+    )
     d2 = (
-        np.sum(fine_xyz**2, axis=1)[:, None]
-        - 2.0 * fine_xyz @ sampled_xyz.T
-        + np.sum(sampled_xyz**2, axis=1)[None, :]
+        np.sum(fine_xyz**2, axis=2)[:, :, None]
+        - 2.0 * fine_xyz @ sampled_xyz.transpose(0, 2, 1)
+        + np.sum(sampled_xyz**2, axis=2)[:, None, :]
     )
     np.maximum(d2, 0.0, out=d2)
-    k = min(3, sampled_xyz.shape[0])
-    pick = np.argsort(d2, axis=1, kind="stable")[:, :k]
-    rows = np.arange(fine_xyz.shape[0])[:, None]
-    inv = 1.0 / np.maximum(d2[rows, pick], 1e-10)
-    weights = inv / inv.sum(axis=1, keepdims=True)
-    picked = features.take(pick, axis=0)  # (N, k, C)
-    return (picked * Tensor(weights[:, :, None])).sum(axis=1)
-
-
-def _stack_rows(rows: List[Tensor]) -> Tensor:
-    from repro.nn.autograd import stack
-
-    return stack(rows, axis=0)
+    k = min(3, sampled_xyz.shape[1])
+    pick = np.argsort(d2, axis=2, kind="stable")[:, :, :k]
+    inv = 1.0 / np.maximum(np.take_along_axis(d2, pick, axis=2), 1e-10)
+    weights = inv / inv.sum(axis=2, keepdims=True)
+    picked = group_points(features, pick)  # (B, N, k, C)
+    return (picked * Tensor(weights[:, :, :, None])).sum(axis=2)
 
 
 class PointNet2Segmentation(Module):
@@ -425,10 +407,13 @@ class PointNet2Segmentation(Module):
         self.in_channels = in_channels
         self.sa_configs = tuple(sa_configs)
         self.sa_modules: List[SetAbstraction] = []
+        self.workspace = Workspace()
         channels = max(in_channels, 1)
         skip_channels = [channels]
         for i, cfg in enumerate(self.sa_configs):
-            module = SetAbstraction(i, channels, cfg, self.edgepc, rng)
+            module = SetAbstraction(
+                i, channels, cfg, self.edgepc, rng, self.workspace
+            )
             setattr(self, f"sa{i}", module)
             self.sa_modules.append(module)
             channels = module.out_channels
@@ -522,9 +507,12 @@ class PointNet2Classifier(Module):
         self.num_classes = num_classes
         self.in_channels = in_channels
         self.sa_modules: List[SetAbstraction] = []
+        self.workspace = Workspace()
         channels = max(in_channels, 1)
         for i, cfg in enumerate(sa_configs):
-            module = SetAbstraction(i, channels, cfg, self.edgepc, rng)
+            module = SetAbstraction(
+                i, channels, cfg, self.edgepc, rng, self.workspace
+            )
             setattr(self, f"sa{i}", module)
             self.sa_modules.append(module)
             channels = module.out_channels

@@ -143,6 +143,9 @@ class EdgePCPipeline:
         self.validation = validation or ValidationPolicy()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        # Last-seen (hits, misses) of the model's scratch workspace, so
+        # per-batch counter increments report deltas, not totals.
+        self._workspace_seen = (0, 0)
 
     def _count_validation(
         self, reports: List[ValidationReport]
@@ -257,6 +260,33 @@ class EdgePCPipeline:
         registry.counter("pipeline_energy_joules_total").inc(
             energy.total_j
         )
+        self._record_workspace_metrics(registry)
+
+    def _record_workspace_metrics(
+        self, registry: MetricsRegistry
+    ) -> None:
+        """Export the model's scratch-pool state (batched kernels)."""
+        workspace = getattr(self.model, "workspace", None)
+        if workspace is None:
+            return
+        registry.gauge("workspace_bytes_allocated").set(
+            float(workspace.bytes_allocated)
+        )
+        registry.gauge("workspace_buffers").set(
+            float(workspace.num_buffers)
+        )
+        seen_hits, seen_misses = self._workspace_seen
+        hit_delta = max(0, workspace.hits - seen_hits)
+        miss_delta = max(0, workspace.misses - seen_misses)
+        if hit_delta:
+            registry.counter("workspace_buffer_hits_total").inc(
+                hit_delta
+            )
+        if miss_delta:
+            registry.counter("workspace_buffer_misses_total").inc(
+                miss_delta
+            )
+        self._workspace_seen = (workspace.hits, workspace.misses)
 
     def record(self, xyz: np.ndarray) -> StageRecorder:
         """Run one batch and return the raw stage trace."""

@@ -3,6 +3,7 @@
 from repro.sampling.fps import (
     coverage_radius,
     farthest_point_sample,
+    farthest_point_sample_batch,
     fps_operation_count,
 )
 from repro.sampling.quality import (
@@ -22,6 +23,7 @@ from repro.sampling.uniform import (
 
 __all__ = [
     "farthest_point_sample",
+    "farthest_point_sample_batch",
     "fps_operation_count",
     "coverage_radius",
     "uniform_sample",

@@ -26,6 +26,8 @@ def farthest_point_sample(
 ) -> np.ndarray:
     """Sample ``num_samples`` indices from ``(N, 3)`` points with FPS.
 
+    Thin ``B=1`` wrapper around :func:`farthest_point_sample_batch`.
+
     Args:
         points: ``(N, 3)`` coordinates.
         num_samples: number of points to select (``1 <= n <= N``).
@@ -39,32 +41,80 @@ def farthest_point_sample(
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[1] != 3:
         raise ValueError(f"expected (N, 3) points, got {points.shape}")
-    n_points = points.shape[0]
+    return farthest_point_sample_batch(
+        points[None], num_samples, start_index, rng
+    )[0]
+
+
+def farthest_point_sample_batch(
+    points: np.ndarray,
+    num_samples: int,
+    start_index: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """FPS over a ``(B, N, 3)`` batch with one vectorized distance
+    update per pick for the *whole* batch.
+
+    The ``n`` picks stay serial (each argmax depends on the previous
+    update — the dependency EdgePC's sampler removes), but the per-pick
+    work runs as single NumPy dispatches over ``B * N`` points instead
+    of a Python loop over clouds.  With an explicit ``start_index``
+    this is bit-identical to looping :func:`farthest_point_sample` per
+    cloud; with a random start the batch draws all ``B`` starts from
+    ``rng`` in one call, which consumes the generator differently than
+    ``B`` independent per-cloud calls would.
+
+    Returns:
+        ``(B, n)`` int64 indices into each cloud, in sampling order.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 3 or points.shape[2] != 3:
+        raise ValueError(f"expected (B, N, 3) points, got {points.shape}")
+    num_clouds, n_points, _ = points.shape
     if not 1 <= num_samples <= n_points:
         raise ValueError(
             f"num_samples must be in [1, {n_points}], got {num_samples}"
         )
     if start_index is None:
         rng = rng or np.random.default_rng(0)
-        start_index = int(rng.integers(n_points))
+        starts = rng.integers(n_points, size=num_clouds)
     elif not 0 <= start_index < n_points:
         raise ValueError("start_index out of range")
+    else:
+        starts = np.full(num_clouds, start_index, dtype=np.int64)
 
-    selected = np.empty(num_samples, dtype=np.int64)
-    selected[0] = start_index
-    # D: squared distance from each point to the sampled set so far.
-    # Selected points are pinned to -1 so degenerate clouds (all
-    # distances zero) still yield distinct indices.
-    distance = np.sum((points - points[start_index]) ** 2, axis=1)
-    distance[start_index] = -1.0
+    rows = np.arange(num_clouds)
+    selected = np.empty((num_clouds, num_samples), dtype=np.int64)
+    selected[:, 0] = starts
+    # D: squared distance from each point to its cloud's sampled set so
+    # far, maintained via the expansion ||p - s||^2 = ||p||^2 - 2 p.s
+    # + ||s||^2 with ||p||^2 hoisted out of the pick loop: one small
+    # matmul per pick instead of materializing (B, N, 3) differences.
+    # Rounding in the expansion can dip a hair below zero, which is
+    # harmless — the values only feed minimum/argmax.  Selected points
+    # are pinned to -1 (below any rounding error) so degenerate clouds
+    # (all distances zero) still yield distinct indices.
+    p_sq = np.einsum("bnc,bnc->bn", points, points)
+    dot = np.empty((num_clouds, n_points, 1), dtype=np.float64)
+    delta = np.empty_like(p_sq)
+    distance = np.empty_like(p_sq)
+
+    def distance_to(picks: np.ndarray, out: np.ndarray) -> None:
+        np.matmul(points, points[rows, picks][:, :, None], out=dot)
+        np.multiply(dot[:, :, 0], -2.0, out=out)
+        out += p_sq
+        out += p_sq[rows, picks][:, None]
+
+    distance_to(starts, distance)
+    distance[rows, starts] = -1.0
     for i in range(1, num_samples):
-        # O(N) update per pick -> O(nN) total; picks are serial because
-        # each argmax depends on the previous update.
-        farthest = int(np.argmax(distance))
-        selected[i] = farthest
-        delta = np.sum((points - points[farthest]) ** 2, axis=1)
+        # O(BN) update per pick -> O(nBN) total; picks are serial
+        # because each argmax depends on the previous update.
+        farthest = np.argmax(distance, axis=1)
+        selected[:, i] = farthest
+        distance_to(farthest, delta)
         np.minimum(distance, delta, out=distance)
-        distance[selected[: i + 1]] = -1.0
+        distance[rows, farthest] = -1.0
     return selected
 
 

@@ -1,0 +1,18 @@
+"""Known-bad batch-loop fixture: PERF-104 must fire twice."""
+
+import numpy as np
+
+
+def neighbors_per_cloud(searcher, xyz):
+    batch = xyz.shape[0]
+    out = np.empty((batch, xyz.shape[1], 8), dtype=np.int64)
+    for b in range(batch):
+        out[b] = searcher.search(xyz[b])
+    return out
+
+
+def centroids_per_cloud(xyz):
+    out = np.empty((xyz.shape[0], 3), dtype=np.float64)
+    for b in range(xyz.shape[0]):
+        out[b] = xyz[b].mean(axis=0)
+    return out

@@ -1,0 +1,19 @@
+"""Known-good batch fixture: batched dispatch, silent under every rule."""
+
+import numpy as np
+
+
+def neighbors_batched(searcher, xyz):
+    return searcher.search_batch(xyz)
+
+
+def centroids_batched(xyz):
+    return xyz.mean(axis=1)
+
+
+def chunked_rows(d2, chunk):
+    out = np.empty(d2.shape[0], dtype=np.float64)
+    # 3-arg range() chunk strides are the sanctioned tiling shape.
+    for lo in range(0, d2.shape[0], chunk):
+        out[lo : lo + chunk] = d2[lo : lo + chunk].min(axis=1)
+    return out

@@ -36,6 +36,7 @@ FIXTURES = {
     "PERF-101": ("repro/core/fake_kernel.py", 1),
     "PERF-102": ("repro/core/fake_kernel.py", 2),
     "PERF-103": ("repro/core/fake_kernel.py", 1),
+    "PERF-104": ("repro/nn/batch_loops.py", 2),
     "DET-201": ("repro/sim/randomness.py", 3),
     "DET-202": ("repro/sim/timed.py", 2),
     "OBS-301": ("repro/sim/pipelines.py", 2),
