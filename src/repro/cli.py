@@ -20,6 +20,13 @@ Commands:
   Prometheus text or JSON form;
 - ``bench``    — time the batched kernels against per-cloud loops and
   optionally gate against a committed ``BENCH_kernels.json`` baseline;
+- ``serve``    — threaded micro-batching serving demo: submit a burst
+  of seeded clouds to an in-process :class:`InferenceServer`, drain
+  gracefully, and print the serving counters;
+- ``loadgen``  — deterministic virtual-time load generation against an
+  in-process server; reports admission decisions, batch-size
+  histogram, latency percentiles, and goodput (see
+  ``docs/serving.md``);
 - ``lint``     — project-aware static analysis.
 
 ``profile``, ``compare``, and ``sample`` additionally accept
@@ -535,6 +542,143 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_pipeline(seed: int, guard: bool, tracer, registry):
+    """Demo pipeline for ``serve``/``loadgen``: a small PointNet++
+    segmentation model, optionally wrapped in the guard."""
+    from repro.nn import PointNet2Segmentation, SAConfig
+    from repro.pipeline import EdgePCPipeline
+
+    model = PointNet2Segmentation(
+        num_classes=4,
+        sa_configs=(
+            SAConfig(0.5, 4, 1.5, (8, 8)),
+            SAConfig(0.5, 4, 3.0, (16, 16)),
+        ),
+        edgepc=EdgePCConfig.paper_default(),
+        head_hidden=8,
+        rng=np.random.default_rng(seed),
+    )
+    pipeline = EdgePCPipeline(model, tracer=tracer, metrics=registry)
+    if guard:
+        from repro.robustness.guard import GuardedPipeline
+
+        return GuardedPipeline(pipeline, seed=seed)
+    return pipeline
+
+
+def _serving_config(args, default_deadline_ms=None):
+    from repro.serving import ServingConfig
+
+    return ServingConfig(
+        max_queue_depth=args.queue_depth,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        workers=args.workers,
+        default_deadline_ms=default_deadline_ms,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Threaded serving demo: burst-submit seeded clouds, drain, report."""
+    from repro.serving import InferenceServer
+
+    tracer, registry = _telemetry(args)
+    pipeline = _serving_pipeline(args.seed, args.guard, tracer, registry)
+    server = InferenceServer(
+        pipeline,
+        _serving_config(args, default_deadline_ms=args.deadline_ms),
+        tracer=tracer,
+        metrics=registry,
+    )
+    rng = np.random.default_rng(args.seed)
+    outcomes: dict = {}
+    requests = []
+    with server:
+        for _ in range(args.requests):
+            try:
+                requests.append(
+                    server.submit(rng.random((args.points, 3)))
+                )
+            except Exception as err:
+                kind = type(err).__name__
+                outcomes[kind] = outcomes.get(kind, 0) + 1
+                registry.counter(
+                    "cli_request_errors_total", kind=kind
+                ).inc()
+    for request in requests:
+        try:
+            request.future.result(timeout=30.0)
+        except Exception as err:
+            kind = type(err).__name__
+            outcomes[kind] = outcomes.get(kind, 0) + 1
+            registry.counter(
+                "cli_request_errors_total", kind=kind
+            ).inc()
+        else:
+            outcomes["ok"] = outcomes.get("ok", 0) + 1
+    stats = server.stats()
+    print(
+        f"served {args.requests} requests with {args.workers} "
+        f"worker(s), max batch {args.max_batch_size}, "
+        f"window {args.max_wait_ms:.0f} ms"
+    )
+    for kind in sorted(outcomes):
+        print(f"  {kind}: {outcomes[kind]}")
+    print(
+        "  batches {batches:.0f}  mean batch size "
+        "{mean_batch_size:.2f}  outstanding {outstanding:.0f}".format(
+            **stats
+        )
+    )
+    _export_telemetry(args, tracer, registry)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Deterministic virtual-time load run against an in-process server."""
+    from repro.observability.clock import FixedClock
+    from repro.serving import (
+        InferenceServer,
+        LoadGenConfig,
+        LoadGenerator,
+    )
+
+    tracer, registry = _telemetry(args)
+    pipeline = _serving_pipeline(args.seed, args.guard, tracer, registry)
+    server = InferenceServer(
+        pipeline,
+        _serving_config(args),
+        clock=FixedClock(0.0),
+        tracer=tracer,
+        metrics=registry,
+    )
+    config = LoadGenConfig(
+        duration_s=args.duration_s,
+        rate=args.rate,
+        arrival=args.arrival,
+        mode=args.mode,
+        concurrency=args.concurrency,
+        points=tuple(args.points),
+        deadline_ms=args.deadline_ms,
+        seed=args.seed,
+    )
+    report = LoadGenerator(server, config).run()
+    print(report.summary())
+    if args.out:
+        report.save(args.out)
+        print(f"wrote load report -> {args.out}")
+    _export_telemetry(args, tracer, registry)
+    if args.fail_on_error and (report.failed or report.lost):
+        print(
+            f"loadgen gate failed: {report.failed} failed and "
+            f"{report.lost} lost requests (admission rejections and "
+            "deadline expiries do not count)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Project-aware static analysis (see docs/static_analysis.md)."""
     from repro.lint import run_lint
@@ -742,6 +886,100 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0.5)",
     )
     bench_cmd.set_defaults(func=cmd_bench)
+
+    def _add_serving_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--max-batch-size", type=int, default=8,
+            help="clouds coalesced per dispatched micro-batch",
+        )
+        cmd.add_argument(
+            "--max-wait-ms", type=float, default=50.0,
+            help="micro-batching window: how long the oldest queued "
+            "request may wait for co-batchable traffic",
+        )
+        cmd.add_argument(
+            "--workers", type=int, default=2,
+            help="dispatch workers (threads, or modeled servers for "
+            "loadgen)",
+        )
+        cmd.add_argument(
+            "--queue-depth", type=int, default=64,
+            help="admission bound; excess requests are rejected",
+        )
+        cmd.add_argument(
+            "--deadline-ms", type=float, default=None,
+            help="per-request deadline; expired requests are "
+            "cancelled with a typed error",
+        )
+        cmd.add_argument(
+            "--seed", type=int, default=0,
+            help="seeds the model weights and the synthetic clouds",
+        )
+        cmd.add_argument(
+            "--guard", action="store_true",
+            help="wrap the pipeline in the GuardedPipeline",
+        )
+        _add_telemetry_flags(cmd)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="threaded micro-batching serving demo with graceful "
+        "drain (see docs/serving.md)",
+    )
+    serve_cmd.add_argument(
+        "--requests", type=int, default=32,
+        help="seeded clouds to burst-submit",
+    )
+    serve_cmd.add_argument(
+        "--points", type=int, default=64,
+        help="points per submitted cloud",
+    )
+    _add_serving_flags(serve_cmd)
+    serve_cmd.set_defaults(func=cmd_serve)
+
+    loadgen_cmd = sub.add_parser(
+        "loadgen",
+        help="deterministic virtual-time load generation against an "
+        "in-process server (see docs/serving.md)",
+    )
+    loadgen_cmd.add_argument(
+        "--duration-s", type=float, default=5.0,
+        help="virtual seconds of offered load",
+    )
+    loadgen_cmd.add_argument(
+        "--rate", type=float, default=50.0,
+        help="offered requests per second (open loop)",
+    )
+    loadgen_cmd.add_argument(
+        "--arrival", default="poisson", choices=("poisson", "fixed"),
+        help="arrival process",
+    )
+    loadgen_cmd.add_argument(
+        "--mode", default="open", choices=("open", "closed"),
+        help="open loop (rate-driven) or closed loop "
+        "(completion-driven)",
+    )
+    loadgen_cmd.add_argument(
+        "--concurrency", type=int, default=8,
+        help="closed-loop in-flight clients",
+    )
+    loadgen_cmd.add_argument(
+        "--points", type=int, nargs="+", default=[64],
+        metavar="N",
+        help="candidate cloud sizes; mixed sizes exercise the "
+        "batcher's N-buckets",
+    )
+    loadgen_cmd.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON load report",
+    )
+    loadgen_cmd.add_argument(
+        "--fail-on-error", action="store_true",
+        help="exit 1 on any failed or lost request (admission "
+        "rejections and deadline expiries do not count)",
+    )
+    _add_serving_flags(loadgen_cmd)
+    loadgen_cmd.set_defaults(func=cmd_loadgen)
 
     lint_cmd = sub.add_parser(
         "lint",

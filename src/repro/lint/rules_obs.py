@@ -25,9 +25,14 @@ HISTOGRAM_SUFFIXES = (
     "_joules",
     "_bytes",
     "_points",
+    "_clouds",
     "_ratio",
     "_total",
 )
+
+#: Serving-layer classes held to the OBS-301 instrumentation contract
+#: (in addition to ``*Pipeline`` everywhere).
+_SERVING_CLASS_SUFFIXES = ("Server", "Batcher", "Queue", "Generator")
 
 #: Method-name hints that a call touches telemetry directly.
 _TELEMETRY_ATTRS = frozenset(
@@ -89,16 +94,25 @@ class PipelineInstrumentationRule(Rule):
     title = "public pipeline method emits no telemetry"
     rationale = (
         "PR-2 invariant: every public stage method on a *Pipeline "
-        "class opens a span or records metrics (directly or via a "
-        "sibling method) so production traces cover every entry "
-        "point."
+        "class (and, in repro.serving, on *Server/*Batcher/*Queue/"
+        "*Generator classes) opens a span or records metrics "
+        "(directly or via a sibling method) so production traces "
+        "cover every entry point."
     )
+
+    @staticmethod
+    def _covered(ctx: ModuleContext, node: ast.ClassDef) -> bool:
+        if node.name.endswith("Pipeline"):
+            return True
+        return ctx.module.startswith("repro.serving") and (
+            node.name.endswith(_SERVING_CLASS_SUFFIXES)
+        )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             if not (
                 isinstance(node, ast.ClassDef)
-                and node.name.endswith("Pipeline")
+                and self._covered(ctx, node)
             ):
                 continue
             methods: Dict[str, ast.FunctionDef] = {
@@ -146,12 +160,14 @@ class MetricNamingRule(Rule):
     rationale = (
         "docs/observability.md: metric names are snake_case; "
         "counters end in _total; histograms end in a unit suffix "
-        "(_seconds, _joules, _bytes, _points, _ratio).  Consistent "
-        "names keep the Prometheus exposition scrapeable and "
-        "dashboards portable."
+        "(_seconds, _joules, _bytes, _points, _clouds, _ratio); "
+        "metrics emitted by the serving layer carry the serving_ "
+        "prefix.  Consistent names keep the Prometheus exposition "
+        "scrapeable and dashboards portable."
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        serving = ctx.module.startswith("repro.serving")
         for node in ast.walk(ctx.tree):
             if not (
                 isinstance(node, ast.Call)
@@ -168,11 +184,13 @@ class MetricNamingRule(Rule):
                 continue
             name = first.value
             kind = node.func.attr
-            for problem in self._name_problems(name, kind):
+            for problem in self._name_problems(name, kind, serving):
                 yield ctx.finding(self, node, problem)
 
     @staticmethod
-    def _name_problems(name: str, kind: str) -> List[str]:
+    def _name_problems(
+        name: str, kind: str, serving: bool = False
+    ) -> List[str]:
         problems: List[str] = []
         if not _SNAKE_CASE.match(name):
             problems.append(
@@ -188,5 +206,10 @@ class MetricNamingRule(Rule):
             problems.append(
                 f"histogram {name!r} must end in a unit suffix "
                 f"({', '.join(HISTOGRAM_SUFFIXES)})"
+            )
+        if serving and not name.startswith("serving_"):
+            problems.append(
+                f"metric {name!r} emitted from the serving layer "
+                "must carry the 'serving_' prefix"
             )
         return problems

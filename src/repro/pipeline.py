@@ -172,10 +172,15 @@ class EdgePCPipeline:
     def _sanitize(
         self, xyz: np.ndarray
     ) -> Tuple[np.ndarray, List[ValidationReport]]:
+        xyz = np.asarray(xyz, dtype=np.float64)
+        if xyz.ndim == 2 and xyz.shape[-1] == 3:
+            # A single (N, 3) cloud rides the batch path at B=1, so
+            # direct calls and the serving micro-batcher share one
+            # code path (and each pass emits its metrics exactly
+            # once).  Outputs keep the leading batch axis.
+            xyz = xyz[np.newaxis, ...]
         try:
-            xyz, reports = sanitize_batch(
-                np.asarray(xyz, dtype=np.float64), self.validation
-            )
+            xyz, reports = sanitize_batch(xyz, self.validation)
         except CloudValidationError:
             if self.metrics is not None:
                 self.metrics.counter("validation_rejects_total").inc()
@@ -196,7 +201,12 @@ class EdgePCPipeline:
                 self.model.train()
 
     def infer(self, xyz: np.ndarray) -> InferenceResult:
-        """Sanitize and run one batch in eval mode, and profile it."""
+        """Sanitize and run one batch in eval mode, and profile it.
+
+        Accepts a ``(B, N, 3)`` batch or a single ``(N, 3)`` cloud —
+        the latter is routed through the same batch path at ``B=1``
+        (outputs keep the leading batch axis).
+        """
         tracer = self.tracer
         with tracer.span("pipeline.infer", "pipeline") as span:
             with tracer.span("pipeline.validate", "pipeline"):

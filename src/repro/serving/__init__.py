@@ -1,0 +1,60 @@
+"""Serving layer: request queue, micro-batcher, server, load generator.
+
+Turns the repro library into a runnable service.  Requests for single
+``(N, 3)`` clouds are admitted by a bounded
+:class:`~repro.serving.queue.RequestQueue`, coalesced by a
+:class:`~repro.serving.batcher.MicroBatcher` into rectangular
+``(B, N, 3)`` micro-batches that ride the batched kernel path, and
+dispatched by an :class:`~repro.serving.server.InferenceServer`
+worker pool (or deterministically, in virtual time, by a
+:class:`~repro.serving.loadgen.LoadGenerator`).  See
+``docs/serving.md``.
+"""
+
+from repro.serving.batcher import (
+    BATCH_SIZE_BUCKETS,
+    MicroBatch,
+    MicroBatcher,
+)
+from repro.serving.loadgen import (
+    LoadGenConfig,
+    LoadGenerator,
+    LoadReport,
+)
+from repro.serving.queue import (
+    AdmissionError,
+    DeadlineExceededError,
+    QueueClosedError,
+    QueueFullError,
+    RequestQueue,
+    ServingRequest,
+)
+from repro.serving.server import (
+    DispatchRecord,
+    InferenceRejectedError,
+    InferenceServer,
+    ServedResult,
+    ServingConfig,
+    swapped_workspace,
+)
+
+__all__ = [
+    "AdmissionError",
+    "BATCH_SIZE_BUCKETS",
+    "DeadlineExceededError",
+    "DispatchRecord",
+    "InferenceRejectedError",
+    "InferenceServer",
+    "LoadGenConfig",
+    "LoadGenerator",
+    "LoadReport",
+    "MicroBatch",
+    "MicroBatcher",
+    "QueueClosedError",
+    "QueueFullError",
+    "RequestQueue",
+    "ServedResult",
+    "ServingConfig",
+    "ServingRequest",
+    "swapped_workspace",
+]

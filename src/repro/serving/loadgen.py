@@ -1,0 +1,381 @@
+"""Deterministic synthetic load generation against the serving stack.
+
+A :class:`LoadGenerator` drives an
+:class:`~repro.serving.server.InferenceServer` in **virtual time**: it
+owns a :class:`~repro.observability.clock.FixedClock` shared with the
+server, generates seeded clouds and seeded Poisson (or fixed-rate)
+arrivals, and advances the clock from event to event — each arrival,
+micro-batch flush, and deadline expiry happens at an exact virtual
+instant, and batches are dispatched inline through
+:meth:`~repro.serving.server.InferenceServer.pump`.  Because nothing
+depends on host scheduling, two runs at the same seed produce
+bit-identical reports: same admission decisions, same batch-size
+histogram, same latency percentiles.
+
+Service is modeled on the paper's simulated edge device: a dispatched
+batch occupies one of ``workers`` virtual servers for the batch's
+simulated device seconds
+(:attr:`~repro.runtime.profiler.StageBreakdown.total_s`), so reported
+latencies are queue wait + batching delay + simulated device time —
+the end-to-end budget EdgePC Sec. 7 is about, not host wall time.
+
+Two load shapes:
+
+- **open loop** — arrivals at a fixed or Poisson ``rate``, regardless
+  of completions (models independent users; overload shows up as
+  admission rejections);
+- **closed loop** — ``concurrency`` clients, each submitting its next
+  request the instant the previous one completes (models a pipeline
+  of sensors; throughput self-limits instead of shedding).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.observability.clock import FixedClock
+from repro.serving.queue import AdmissionError
+from repro.serving.server import InferenceServer
+
+ARRIVALS = ("poisson", "fixed")
+MODES = ("open", "closed")
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Shape of one synthetic load run.
+
+    Attributes:
+        duration_s: virtual seconds of arrivals to generate.
+        rate: offered requests/second (open loop).
+        arrival: ``"poisson"`` (seeded exponential gaps) or
+            ``"fixed"`` (metronome).
+        mode: ``"open"`` or ``"closed"`` loop.
+        concurrency: in-flight clients in closed-loop mode.
+        points: candidate cloud sizes; each request draws one
+            uniformly (mixed sizes exercise the batcher's N-buckets).
+        deadline_ms: per-request deadline; ``None`` disables.
+        seed: seeds both the arrival process and the cloud contents.
+    """
+
+    duration_s: float = 5.0
+    rate: float = 50.0
+    arrival: str = "poisson"
+    mode: str = "open"
+    concurrency: int = 8
+    points: Tuple[int, ...] = (64,)
+    deadline_ms: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(f"arrival must be one of {ARRIVALS}")
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be positive")
+        if not self.points or any(n < 8 for n in self.points):
+            raise ValueError("points must be sizes >= 8")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+
+
+@dataclass
+class LoadReport:
+    """Deterministic outcome of one load run (see ``to_dict``)."""
+
+    mode: str
+    arrival: str
+    duration_s: float
+    offered_rps: float
+    seed: int
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    expired: int = 0
+    completed: int = 0
+    failed: int = 0
+    lost: int = 0
+    late: int = 0
+    batches: int = 0
+    mean_batch_size: float = 0.0
+    batch_size_hist: Dict[str, int] = field(default_factory=dict)
+    trigger_counts: Dict[str, int] = field(default_factory=dict)
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    goodput_rps: float = 0.0
+    simulated_busy_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "arrival": self.arrival,
+            "duration_s": self.duration_s,
+            "offered_rps": self.offered_rps,
+            "seed": self.seed,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "completed": self.completed,
+            "failed": self.failed,
+            "lost": self.lost,
+            "late": self.late,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_hist": dict(
+                sorted(self.batch_size_hist.items())
+            ),
+            "trigger_counts": dict(
+                sorted(self.trigger_counts.items())
+            ),
+            "latency_ms": dict(sorted(self.latency_ms.items())),
+            "goodput_rps": self.goodput_rps,
+            "simulated_busy_s": self.simulated_busy_s,
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    def summary(self) -> str:
+        lines = [
+            f"loadgen: {self.mode} loop, {self.arrival} arrivals, "
+            f"{self.offered_rps:.0f} req/s offered for "
+            f"{self.duration_s:.1f}s (seed {self.seed})",
+            f"  submitted {self.submitted}  admitted {self.admitted}"
+            f"  rejected {self.rejected}  expired {self.expired}",
+            f"  completed {self.completed}  failed {self.failed}"
+            f"  lost {self.lost}  late {self.late}",
+            f"  batches {self.batches}  mean batch size "
+            f"{self.mean_batch_size:.2f}  "
+            f"goodput {self.goodput_rps:.1f} req/s",
+        ]
+        if self.latency_ms:
+            lines.append(
+                "  latency p50 {p50:.2f} ms  p95 {p95:.2f} ms  "
+                "p99 {p99:.2f} ms  max {max:.2f} ms".format(
+                    **self.latency_ms
+                )
+            )
+        hist = " ".join(
+            f"{size}x{count}"
+            for size, count in sorted(
+                self.batch_size_hist.items(), key=lambda kv: int(kv[0])
+            )
+        )
+        lines.append(f"  batch-size histogram: {hist or '(empty)'}")
+        return "\n".join(lines)
+
+
+class LoadGenerator:
+    """Virtual-time load driver for one in-process server.
+
+    Args:
+        server: the server under test.  Its ``clock`` must be the
+            same :class:`~repro.observability.clock.FixedClock`
+            passed here — the generator is the only thing advancing
+            time.
+        config: load shape.
+        clock: the shared virtual clock.
+    """
+
+    def __init__(
+        self,
+        server: InferenceServer,
+        config: Optional[LoadGenConfig] = None,
+        clock: Optional[FixedClock] = None,
+    ) -> None:
+        self.server = server
+        self.config = config or LoadGenConfig()
+        if clock is None:
+            clock = server.clock
+        if not isinstance(clock, FixedClock):
+            raise TypeError(
+                "LoadGenerator needs a FixedClock shared with the "
+                "server; threaded wall-clock serving is exercised via "
+                "InferenceServer.start() instead"
+            )
+        self.clock = clock
+        self.tracer = server.tracer
+        self.metrics = server.metrics
+
+    # Schedules -------------------------------------------------------
+
+    def _open_arrivals(self, rng: np.random.Generator) -> List[float]:
+        cfg = self.config
+        if cfg.arrival == "fixed":
+            count = int(math.floor(cfg.duration_s * cfg.rate))
+            return [i / cfg.rate for i in range(count)]
+        times: List[float] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / cfg.rate))
+            if t >= cfg.duration_s:
+                return times
+            times.append(t)
+
+    def _cloud(self, rng: np.random.Generator) -> np.ndarray:
+        n = int(rng.choice(np.asarray(self.config.points)))
+        return rng.random((n, 3))
+
+    # Run -------------------------------------------------------------
+
+    def run(self) -> LoadReport:
+        """Drive the configured load to completion; returns the report.
+
+        Deterministic for a given (config, server config, model)
+        triple: every event happens at an exact virtual instant
+        derived from the seed.
+        """
+        with self.tracer.span("loadgen.run", "serving") as span:
+            cfg = self.config
+            span.set("mode", cfg.mode)
+            span.set("rate", cfg.rate)
+            report = self._run_events()
+            span.set("submitted", report.submitted)
+            span.set("batches", report.batches)
+            if self.metrics is not None:
+                self.metrics.gauge("serving_mean_batch_size").set(
+                    report.mean_batch_size
+                )
+            return report
+
+    def _run_events(self) -> LoadReport:
+        cfg = self.config
+        server = self.server
+        rng = np.random.default_rng(cfg.seed)
+        report = LoadReport(
+            mode=cfg.mode,
+            arrival=cfg.arrival,
+            duration_s=cfg.duration_s,
+            offered_rps=cfg.rate,
+            seed=cfg.seed,
+        )
+        arrivals: List[float]
+        if cfg.mode == "open":
+            arrivals = self._open_arrivals(rng)
+        else:
+            arrivals = [0.0] * cfg.concurrency
+        arrivals.reverse()  # pop() from the tail = earliest first
+
+        busy = [0.0] * server.config.workers
+        deadline_s = (
+            None if cfg.deadline_ms is None else cfg.deadline_ms / 1e3
+        )
+        arrival_of: Dict[str, float] = {}
+        latencies: List[float] = []
+        requests = []
+
+        def advance_to(t: float) -> None:
+            delta = t - self.clock()
+            if delta > 0:
+                self.clock.advance(delta)
+
+        def settle(record, worker: int) -> None:
+            """Model one dispatched batch occupying ``worker``."""
+            report.batches += 1
+            key = str(record.size)
+            report.batch_size_hist[key] = (
+                report.batch_size_hist.get(key, 0) + 1
+            )
+            report.trigger_counts[record.trigger] = (
+                report.trigger_counts.get(record.trigger, 0) + 1
+            )
+            if not record.ok:
+                return
+            start = max(record.dispatched_s, busy[worker])
+            done = start + record.simulated_s
+            busy[worker] = done
+            report.simulated_busy_s += record.simulated_s
+            for request_id in record.request_ids:
+                arrived = arrival_of[request_id]
+                latencies.append(done - arrived)
+                if (
+                    deadline_s is not None
+                    and done - arrived > deadline_s
+                ):
+                    report.late += 1
+                if cfg.mode == "closed" and done < cfg.duration_s:
+                    arrivals.insert(0, done)
+
+        def dispatch_free_workers(t: float) -> None:
+            """Hand due batches to workers that are free at ``t``."""
+            while True:
+                free = [
+                    index
+                    for index, until in enumerate(busy)
+                    if until <= t
+                ]
+                if not free:
+                    return
+                records = server.pump(limit=1)
+                if not records:
+                    return
+                settle(records[0], free[0])
+
+        while True:
+            t_arrival = arrivals[-1] if arrivals else None
+            t_flush = server.batcher.next_flush_at
+            if t_arrival is None and t_flush is None:
+                break
+            if t_flush is not None:
+                # A due batch only dispatches once a modeled worker
+                # frees up; queueing delay is part of the simulation.
+                t_flush = max(t_flush, min(busy))
+            if t_flush is None or (
+                t_arrival is not None and t_arrival <= t_flush
+            ):
+                advance_to(t_arrival)
+                arrivals.pop()
+                report.submitted += 1
+                cloud = self._cloud(rng)
+                try:
+                    request = server.submit(
+                        cloud, deadline_s=deadline_s
+                    )
+                except AdmissionError:
+                    pass  # counted by the queue's typed counters
+                else:
+                    arrival_of[request.request_id] = request.arrival_s
+                    requests.append(request)
+                server.batcher.ingest()
+            else:
+                advance_to(t_flush)
+            dispatch_free_workers(self.clock())
+
+        report.admitted = server.queue.admitted
+        report.rejected = server.queue.rejected
+        report.expired = server.batcher.requests_expired
+        report.completed = server.completed
+        report.failed = server.failed
+        report.lost = sum(
+            1 for request in requests if not request.future.done()
+        )
+        if report.batches:
+            total = sum(
+                int(size) * count
+                for size, count in report.batch_size_hist.items()
+            )
+            report.mean_batch_size = total / report.batches
+        if latencies:
+            ordered = np.sort(np.asarray(latencies))
+            report.latency_ms = {
+                "p50": float(np.percentile(ordered, 50)) * 1e3,
+                "p95": float(np.percentile(ordered, 95)) * 1e3,
+                "p99": float(np.percentile(ordered, 99)) * 1e3,
+                "mean": float(ordered.mean()) * 1e3,
+                "max": float(ordered.max()) * 1e3,
+            }
+        on_time = report.completed - report.late
+        report.goodput_rps = max(0.0, on_time) / cfg.duration_s
+        return report

@@ -1,0 +1,231 @@
+"""Bounded request queue with admission control and deadlines.
+
+The serving layer's front door.  A :class:`RequestQueue` accepts
+:class:`ServingRequest` objects up to a fixed depth and rejects the
+rest with a typed :class:`AdmissionError` — under overload the cheap
+and observable failure mode is an immediate rejection at the door, not
+an unbounded queue whose tail latency silently blows every deadline
+(the paper's per-frame budgets, Sec. 7, leave no room for queueing
+debt).  Each request carries an optional absolute deadline read from
+the injectable :data:`~repro.observability.clock.Clock`; requests that
+expire while queued are cancelled by the batcher with a typed
+:class:`DeadlineExceededError` instead of wasting a dispatch slot.
+
+The queue is the synchronization point of the serving stack: producers
+call :meth:`RequestQueue.put` from any thread, and the
+:class:`~repro.serving.batcher.MicroBatcher` drains it under the
+queue's own :attr:`~RequestQueue.condition` so a single lock orders
+admission, batch formation, and shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.observability.clock import Clock, wall_clock
+from repro.observability.metrics import MetricsRegistry
+
+
+class AdmissionError(RuntimeError):
+    """The serving layer refused to accept a request.
+
+    Carries a machine-readable :attr:`reason` so load generators and
+    clients can tell deliberate load shedding from bugs.
+    """
+
+    reason = "admission"
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+
+
+class QueueFullError(AdmissionError):
+    """Rejected because the queue is at its configured depth."""
+
+    reason = "queue_full"
+
+
+class QueueClosedError(AdmissionError):
+    """Rejected because the server is draining or stopped."""
+
+    reason = "closed"
+
+
+class DeadlineExceededError(RuntimeError):
+    """The request's deadline passed before it could be dispatched."""
+
+
+@dataclass
+class ServingRequest:
+    """One queued inference request for a single ``(N, 3)`` cloud.
+
+    Attributes:
+        request_id: caller-visible identifier (unique per server).
+        cloud: the ``(N, 3)`` float64 point cloud to classify/segment.
+        arrival_s: clock reading when the request was admitted.
+        deadline_s: absolute clock instant after which the request is
+            cancelled instead of dispatched; ``None`` means no
+            deadline.
+        future: resolves to a
+            :class:`~repro.serving.server.ServedResult` or to a typed
+            error (:class:`DeadlineExceededError`,
+            :class:`QueueClosedError`, a guard rejection, ...).
+    """
+
+    request_id: str
+    cloud: np.ndarray
+    arrival_s: float
+    deadline_s: Optional[float] = None
+    future: Future = field(default_factory=Future)
+
+    @property
+    def n_points(self) -> int:
+        return int(self.cloud.shape[0])
+
+    def expired(self, now: float) -> bool:
+        """The boundary counts as expired (``now >= deadline``), so a
+        virtual-time event loop parked exactly on the deadline makes
+        progress instead of re-polling the same instant forever."""
+        return self.deadline_s is not None and now >= self.deadline_s
+
+
+class RequestQueue:
+    """Bounded FIFO of :class:`ServingRequest` with admission control.
+
+    Args:
+        max_depth: undispatched backlog (queued here plus buffered in
+            the batcher's buckets) before :meth:`put` rejects with
+            :class:`QueueFullError`.  The batcher reports dispatches
+            back through :meth:`release`, so the bound covers the
+            whole pre-dispatch pipeline, not just the hand-off list.
+        clock: injectable clock shared with the batcher and server.
+        metrics: optional registry; admission decisions become
+            ``serving_admitted_total`` / ``serving_rejected_total``
+            counters and a ``serving_queue_depth`` gauge.
+
+    Attributes:
+        condition: the queue's :class:`threading.Condition`.  The
+            batcher waits on it and :meth:`put` / :meth:`close` notify
+            it, so one lock orders the whole serving hand-off;
+            :meth:`pop_pending` must be called holding it.
+        admitted: requests accepted so far (backpressure counter).
+        rejected: requests refused so far (backpressure counter).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 64,
+        clock: Clock = wall_clock,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        self.max_depth = int(max_depth)
+        self.clock = clock
+        self.metrics = metrics
+        self.condition = threading.Condition()
+        self.admitted = 0
+        self.rejected = 0
+        self._items: List[ServingRequest] = []
+        self._backlog = 0
+        self._closed = False
+
+    # Admission -------------------------------------------------------
+
+    def put(self, request: ServingRequest) -> None:
+        """Admit one request or raise a typed :class:`AdmissionError`.
+
+        Thread-safe; wakes any batcher blocked on
+        :attr:`condition`.
+        """
+        with self.condition:
+            if self._closed:
+                self._count_rejection(QueueClosedError.reason)
+                raise QueueClosedError(
+                    f"request {request.request_id!r} rejected: the "
+                    "server is draining"
+                )
+            if self._backlog >= self.max_depth:
+                self._count_rejection(QueueFullError.reason)
+                raise QueueFullError(
+                    f"request {request.request_id!r} rejected: "
+                    f"backlog is at max depth {self.max_depth}"
+                )
+            self._items.append(request)
+            self.admitted += 1
+            self._backlog += 1
+            if self.metrics is not None:
+                self.metrics.counter("serving_admitted_total").inc()
+                self.metrics.gauge("serving_queue_depth").set(
+                    float(self._backlog)
+                )
+            self.condition.notify_all()
+
+    def _count_rejection(self, reason: str) -> None:
+        self.rejected += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "serving_rejected_total", reason=reason
+            ).inc()
+
+    # Consumption (batcher side) --------------------------------------
+
+    def pop_pending(self) -> List[ServingRequest]:
+        """Remove and return every queued request, FIFO order.
+
+        Caller must hold :attr:`condition` (the batcher's ingest path
+        does; see :class:`~repro.serving.batcher.MicroBatcher`).
+        Popped requests still count toward the admission backlog
+        until :meth:`release` reports their dispatch/cancellation.
+        """
+        items, self._items = self._items, []
+        if items and self.metrics is not None:
+            self.metrics.gauge("serving_queue_depth").set(
+                float(self._backlog)
+            )
+        return items
+
+    def release(self, count: int) -> None:
+        """Report ``count`` requests as dispatched/expired/cancelled.
+
+        Caller must hold :attr:`condition`.  Shrinks the admission
+        backlog so new traffic can be admitted in their place.
+        """
+        self._backlog = max(0, self._backlog - count)
+        if self.metrics is not None:
+            self.metrics.gauge("serving_queue_depth").set(
+                float(self._backlog)
+            )
+        self.condition.notify_all()
+
+    # Lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting; wakes every waiter so drains can finish."""
+        with self.condition:
+            self._closed = True
+            if self.metrics is not None:
+                self.metrics.gauge("serving_queue_open").set(0.0)
+            self.condition.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def depth(self) -> int:
+        """Undispatched backlog (queued here + buffered in buckets)."""
+        with self.condition:
+            return self._backlog
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestQueue(backlog={self._backlog}/{self.max_depth}, "
+            f"admitted={self.admitted}, rejected={self.rejected}, "
+            f"closed={self._closed})"
+        )

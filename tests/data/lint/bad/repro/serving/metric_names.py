@@ -1,0 +1,8 @@
+"""Known-bad serving metric-name fixture: OBS-302 must fire three
+times (missing serving_ prefix twice, missing histogram unit once)."""
+
+
+def record(registry, size):
+    registry.counter("queue_admitted_total").inc()
+    registry.gauge("worker_count").set(2)
+    registry.histogram("serving_batch_size").observe(size)

@@ -1,0 +1,19 @@
+"""Known-bad serving fixture: OBS-301 must fire three times (the
+serving-layer class suffixes Server/Batcher/Queue/Generator are held
+to the instrumentation contract inside ``repro.serving``)."""
+
+
+class SilentServer:
+    def __init__(self, pipeline):
+        self.pipeline = pipeline
+
+    def submit(self, cloud):
+        return self.pipeline(cloud)
+
+    def stop(self):
+        self.pipeline = None
+
+
+class SilentGenerator:
+    def run(self, server):
+        return [server.submit(i) for i in range(4)]

@@ -1,0 +1,10 @@
+"""Known-good serving metric-name fixture: serving_ prefix everywhere,
+histograms with unit suffixes (including the batch-size _clouds unit).
+"""
+
+
+def record(registry, size):
+    registry.counter("serving_admitted_total").inc()
+    registry.gauge("serving_queue_depth").set(0)
+    registry.histogram("serving_batch_size_clouds").observe(size)
+    registry.histogram("serving_queue_wait_seconds").observe(0.0)

@@ -1,0 +1,37 @@
+"""Known-good serving fixture: spans on the entry points, delegation
+covering the rest; helper classes without a serving suffix stay out of
+scope."""
+
+
+class TracedServer:
+    def __init__(self, pipeline, tracer):
+        self.pipeline = pipeline
+        self.tracer = tracer
+
+    def submit(self, cloud):
+        with self.tracer.span("serving.submit", "serving"):
+            return self.pipeline(cloud)
+
+    def stop(self):
+        with self.tracer.span("serving.stop", "serving"):
+            self.pipeline = None
+
+    @property
+    def depth(self):
+        return 0
+
+
+class TracedGenerator:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def run(self, server):
+        with self.tracer.span("loadgen.run", "serving"):
+            return [server.submit(i) for i in range(4)]
+
+
+class ReportWriter:
+    """No serving suffix: OBS-301 does not apply."""
+
+    def save(self, path):
+        return path

@@ -45,6 +45,14 @@ FIXTURES = {
     "ROBUST-402": ("repro/geometry/contracts.py", 1),
 }
 
+# Serving-layer extensions of the OBS rules (PR 5): class suffixes
+# Server/Batcher/Queue/Generator under repro.serving join OBS-301, and
+# serving metrics must carry the serving_ prefix under OBS-302.
+SERVING_FIXTURES = {
+    "OBS-301": ("repro/serving/servers.py", 3),
+    "OBS-302": ("repro/serving/metric_names.py", 3),
+}
+
 
 class TestRuleRegistry:
     def test_every_fixture_rule_is_registered(self):
@@ -79,6 +87,36 @@ class TestPerRuleFixtures:
 
     def test_good_tree_is_fully_clean(self):
         assert lint_paths([str(GOOD)]) == []
+
+
+class TestServingFixtures:
+    """PR-5 serving extensions of the OBS rules."""
+
+    @pytest.mark.parametrize("rule_id", sorted(SERVING_FIXTURES))
+    def test_fires_on_bad_fixture(self, rule_id):
+        relpath, expected = SERVING_FIXTURES[rule_id]
+        findings = lint_file(str(BAD / relpath))
+        hits = [f for f in findings if f.rule == rule_id]
+        assert len(hits) == expected
+
+    @pytest.mark.parametrize("rule_id", sorted(SERVING_FIXTURES))
+    def test_silent_on_good_fixture(self, rule_id):
+        relpath, _ = SERVING_FIXTURES[rule_id]
+        assert lint_file(str(GOOD / relpath)) == []
+
+    def test_serving_suffixes_only_apply_inside_serving(self):
+        # The same silent Server class outside repro.serving is not
+        # held to OBS-301 (only *Pipeline is, repo-wide).
+        source = (BAD / "repro/serving/servers.py").read_text()
+        findings = lint_source("repro/sim/servers.py", source)
+        assert findings == []
+
+    def test_serving_prefix_only_required_inside_serving(self):
+        source = (BAD / "repro/serving/metric_names.py").read_text()
+        findings = lint_source("repro/sim/names_ok.py", source)
+        # The unit-suffix finding stays; the prefix findings vanish.
+        assert [f.rule for f in findings] == ["OBS-302"]
+        assert "unit suffix" in findings[0].message
 
 
 class TestGoldenFindings:

@@ -39,6 +39,27 @@ class TestEdgePCPipeline:
         assert result.latency_ms > 0
         assert result.energy_j > 0
 
+    def test_single_cloud_rides_the_batch_path_at_b1(self, rng):
+        # (N, 3) input goes through the same (B, N, 3) code path the
+        # serving micro-batcher uses, with outputs keeping the batch
+        # axis and metrics emitted exactly once.
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        pipeline = EdgePCPipeline(
+            _pn2(EdgePCConfig.paper_default()), metrics=registry
+        )
+        cloud = rng.normal(size=(64, 3))
+        single = pipeline.infer(cloud)
+        assert single.logits.shape == (1, 64, 3)
+        assert single.predictions.shape == (1, 64)
+        assert registry.counter("pipeline_batches_total").value == 1
+        assert registry.counter("pipeline_clouds_total").value == 1
+        batched = pipeline.infer(cloud[None, :, :])
+        np.testing.assert_allclose(
+            single.logits, batched.logits, rtol=1e-12, atol=1e-12
+        )
+
     def test_config_defaults_from_model(self):
         config = EdgePCConfig.paper_default()
         pipeline = EdgePCPipeline(_pn2(config))

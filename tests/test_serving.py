@@ -1,0 +1,539 @@
+"""Tests for the serving subsystem (PR 5).
+
+Covers the admission queue, the micro-batcher's bucket/trigger logic,
+threaded graceful shutdown (zero lost requests), workspace ownership
+under threads, fault injection through the guarded server, and the
+deterministic virtual-time load generator.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import EdgePCConfig
+from repro.core.workspace import Workspace, WorkspaceOwnershipError
+from repro.nn import PointNet2Segmentation, SAConfig
+from repro.observability.clock import FixedClock
+from repro.observability.metrics import MetricsRegistry
+from repro.pipeline import EdgePCPipeline
+from repro.robustness import (
+    FaultInjector,
+    FaultSpec,
+    GuardedPipeline,
+    GuardThresholds,
+    ValidationPolicy,
+)
+from repro.serving import (
+    DeadlineExceededError,
+    InferenceServer,
+    LoadGenConfig,
+    LoadGenerator,
+    MicroBatcher,
+    QueueClosedError,
+    QueueFullError,
+    RequestQueue,
+    ServingConfig,
+    ServingRequest,
+)
+
+N_POINTS = 32
+
+
+def _pipeline(metrics=None, seed=0):
+    model = PointNet2Segmentation(
+        num_classes=3,
+        sa_configs=(SAConfig(0.5, 4, 1.5, (8, 8)),),
+        edgepc=EdgePCConfig.paper_default(),
+        head_hidden=8,
+        rng=np.random.default_rng(seed),
+    )
+    return EdgePCPipeline(model, metrics=metrics)
+
+
+def _request(rng, request_id="r1", n=N_POINTS, arrival=0.0, deadline=None):
+    return ServingRequest(
+        request_id=request_id,
+        cloud=rng.random((n, 3)),
+        arrival_s=arrival,
+        deadline_s=deadline,
+    )
+
+
+class TestRequestQueue:
+    def test_admits_up_to_depth_then_rejects_typed(self, rng):
+        registry = MetricsRegistry()
+        queue = RequestQueue(max_depth=2, metrics=registry)
+        queue.put(_request(rng, "a"))
+        queue.put(_request(rng, "b"))
+        with pytest.raises(QueueFullError) as err:
+            queue.put(_request(rng, "c"))
+        assert err.value.reason == "queue_full"
+        assert queue.admitted == 2
+        assert queue.rejected == 1
+        assert registry.counter("serving_admitted_total").value == 2
+        assert (
+            registry.counter(
+                "serving_rejected_total", reason="queue_full"
+            ).value
+            == 1
+        )
+        assert registry.gauge("serving_queue_depth").value == 2.0
+
+    def test_closed_queue_rejects_typed(self, rng):
+        queue = RequestQueue(max_depth=4)
+        queue.close()
+        with pytest.raises(QueueClosedError) as err:
+            queue.put(_request(rng))
+        assert err.value.reason == "closed"
+        assert queue.closed
+
+    def test_pop_pending_is_fifo_and_backlog_survives_until_release(
+        self, rng
+    ):
+        registry = MetricsRegistry()
+        queue = RequestQueue(max_depth=4, metrics=registry)
+        for name in ("a", "b", "c"):
+            queue.put(_request(rng, name))
+        with queue.condition:
+            popped = queue.pop_pending()
+        assert [r.request_id for r in popped] == ["a", "b", "c"]
+        # Popped-but-undispatched requests still occupy the admission
+        # backlog; only release() frees their slots.
+        assert queue.depth == 3
+        with queue.condition:
+            queue.release(3)
+        assert queue.depth == 0
+        assert registry.gauge("serving_queue_depth").value == 0.0
+
+    def test_backlog_bound_covers_bucketed_requests(self, rng):
+        # Requests moved into batcher buckets still count against
+        # max_depth: admission bounds the whole pre-dispatch backlog.
+        clock = FixedClock(0.0)
+        queue = RequestQueue(max_depth=2, clock=clock)
+        batcher = MicroBatcher(
+            queue, max_batch_size=8, max_wait_s=1.0, clock=clock
+        )
+        queue.put(_request(rng, "a"))
+        queue.put(_request(rng, "b"))
+        assert batcher.ingest() == 2  # queue list is empty now...
+        with pytest.raises(QueueFullError):
+            queue.put(_request(rng, "c"))  # ...but the bound holds
+        clock.advance(1.0)
+        assert batcher.poll() is not None  # dispatch frees the slots
+        queue.put(_request(rng, "d"))
+
+
+class TestMicroBatcher:
+    def _batcher(self, clock, registry=None, **kwargs):
+        queue = RequestQueue(
+            max_depth=64, clock=clock, metrics=registry
+        )
+        defaults = dict(max_batch_size=4, max_wait_s=0.05)
+        defaults.update(kwargs)
+        return queue, MicroBatcher(
+            queue, clock=clock, metrics=registry, **defaults
+        )
+
+    def test_full_bucket_flushes_immediately(self, rng):
+        clock = FixedClock(0.0)
+        queue, batcher = self._batcher(clock)
+        for i in range(4):
+            queue.put(_request(rng, f"r{i}"))
+        batch = batcher.poll()
+        assert batch is not None
+        assert batch.trigger == "full"
+        assert batch.size == 4
+        assert batch.xyz.shape == (4, N_POINTS, 3)
+        assert batcher.poll() is None
+
+    def test_buckets_by_point_count(self, rng):
+        clock = FixedClock(0.0)
+        queue, batcher = self._batcher(clock)
+        queue.put(_request(rng, "small", n=16))
+        queue.put(_request(rng, "large", n=64))
+        assert batcher.poll() is None  # neither bucket is due yet
+        assert batcher.buffered == 2
+        clock.advance(0.06)  # past max_wait: both flush, separately
+        first = batcher.poll()
+        second = batcher.poll()
+        assert first.trigger == "timeout"
+        assert second.trigger == "timeout"
+        assert {first.xyz.shape[1], second.xyz.shape[1]} == {16, 64}
+        assert first.size == second.size == 1
+
+    def test_timeout_trigger_honors_wait_hint(self, rng):
+        clock = FixedClock(0.0)
+        queue, batcher = self._batcher(clock)
+        queue.put(_request(rng, "lone"))
+        assert batcher.poll() is None
+        assert batcher.next_flush_at == pytest.approx(0.05)
+        clock.advance(0.05)
+        batch = batcher.poll()
+        assert batch is not None and batch.trigger == "timeout"
+
+    def test_drain_trigger_flushes_partial_buckets(self, rng):
+        clock = FixedClock(0.0)
+        queue, batcher = self._batcher(clock)
+        queue.put(_request(rng, "a"))
+        queue.put(_request(rng, "b"))
+        assert batcher.poll() is None
+        queue.close()
+        batch = batcher.poll()
+        assert batch.trigger == "drain"
+        assert batch.size == 2
+        assert batcher.drained()
+
+    def test_expired_request_gets_typed_error(self, rng):
+        registry = MetricsRegistry()
+        clock = FixedClock(0.0)
+        queue, batcher = self._batcher(clock, registry)
+        doomed = _request(rng, "doomed", deadline=0.02)
+        queue.put(doomed)
+        clock.advance(0.03)  # past the deadline, before max_wait
+        assert batcher.poll() is None
+        assert doomed.future.done()
+        with pytest.raises(DeadlineExceededError):
+            doomed.future.result()
+        assert batcher.requests_expired == 1
+        assert registry.counter("serving_expired_total").value == 1
+
+    def test_oversize_bucket_splits_into_max_batches(self, rng):
+        clock = FixedClock(0.0)
+        queue, batcher = self._batcher(clock, max_batch_size=3)
+        for i in range(7):
+            queue.put(_request(rng, f"r{i}"))
+        sizes = []
+        queue.close()
+        while True:
+            batch = batcher.poll()
+            if batch is None:
+                break
+            sizes.append(batch.size)
+        assert sizes == [3, 3, 1]
+
+
+class TestThreadedServer:
+    def test_graceful_drain_loses_nothing(self, rng):
+        registry = MetricsRegistry()
+        server = InferenceServer(
+            _pipeline(registry),
+            ServingConfig(
+                max_batch_size=4, max_wait_ms=5.0, workers=2
+            ),
+            metrics=registry,
+        )
+        with server:
+            requests = [
+                server.submit(rng.random((N_POINTS, 3)))
+                for _ in range(20)
+            ]
+        # The with-block exit drains: every future must be resolved.
+        results = [r.future.result(timeout=10.0) for r in requests]
+        assert len(results) == 20
+        assert server.completed == 20
+        assert server.outstanding == 0
+        assert server.stats()["failed"] == 0
+        assert registry.counter("serving_completed_total").value == 20
+        for result in results:
+            assert result.logits.shape == (N_POINTS, 3)
+            assert result.prediction.shape == (N_POINTS,)
+            assert result.batch_size >= 1
+            assert result.trigger in ("full", "timeout", "drain")
+
+    def test_non_drain_stop_cancels_with_typed_error(self, rng):
+        server = InferenceServer(
+            _pipeline(),
+            ServingConfig(
+                max_batch_size=64,
+                max_wait_ms=10_000.0,  # nothing flushes on its own
+                workers=1,
+            ),
+        )
+        server.start()
+        requests = [
+            server.submit(rng.random((N_POINTS, 3))) for _ in range(3)
+        ]
+        server.stop(drain=False)
+        for request in requests:
+            assert request.future.done()
+            with pytest.raises(QueueClosedError):
+                request.future.result()
+        assert server.outstanding == 0
+
+    def test_submit_validates_shape(self, rng):
+        server = InferenceServer(_pipeline())
+        with pytest.raises(ValueError):
+            server.submit(rng.random((2, N_POINTS, 3)))
+
+    def test_submissions_after_stop_are_rejected(self, rng):
+        server = InferenceServer(_pipeline())
+        server.start()
+        server.stop()
+        with pytest.raises(QueueClosedError):
+            server.submit(rng.random((N_POINTS, 3)))
+
+
+class TestWorkspaceOwnership:
+    def test_claimed_workspace_rejects_foreign_thread(self):
+        workspace = Workspace()
+        workspace.claim_owner()
+        workspace.buffer("ok", (8,))  # owner may use it
+        caught = []
+
+        def misuse():
+            try:
+                workspace.buffer("nope", (8,))
+            except WorkspaceOwnershipError as err:
+                caught.append(err)
+
+        thread = threading.Thread(target=misuse)
+        thread.start()
+        thread.join()
+        assert len(caught) == 1
+
+    def test_claim_cannot_be_stolen_but_release_frees_it(self):
+        workspace = Workspace()
+        workspace.claim_owner()
+        errors = []
+
+        def steal():
+            try:
+                workspace.claim_owner()
+            except WorkspaceOwnershipError as err:
+                errors.append(err)
+
+        thread = threading.Thread(target=steal)
+        thread.start()
+        thread.join()
+        assert len(errors) == 1
+        workspace.release_owner()
+        # Unclaimed again: another thread may now claim it.
+        done = []
+        thread = threading.Thread(
+            target=lambda: done.append(workspace.claim_owner())
+        )
+        thread.start()
+        thread.join()
+        assert done
+
+    def test_per_thread_workspaces_survive_hammering(self):
+        # The supported serving pattern: one claimed workspace per
+        # thread, hammered concurrently, never cross-contaminates.
+        errors = []
+
+        def worker(seed):
+            try:
+                workspace = Workspace().claim_owner()
+                rng = np.random.default_rng(seed)
+                for i in range(200):
+                    shape = (int(rng.integers(1, 64)), 3)
+                    buf = workspace.buffer("scratch", shape)
+                    buf.fill(seed)
+                    assert (buf == seed).all()
+                workspace.clear()
+            except Exception as err:  # pragma: no cover
+                errors.append(err)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_server_workers_use_distinct_workspaces(self, rng):
+        server = InferenceServer(
+            _pipeline(),
+            ServingConfig(
+                max_batch_size=2, max_wait_ms=5.0, workers=3
+            ),
+        )
+        with server:
+            requests = [
+                server.submit(rng.random((N_POINTS, 3)))
+                for _ in range(12)
+            ]
+        for request in requests:
+            request.future.result(timeout=10.0)
+        assert server.completed == 12
+
+
+class TestServingUnderFaults:
+    TINY_PROBE = dict(probe_points=16, probe_samples=8, probe_k=4)
+
+    def _guarded_server(self, registry, **threshold_overrides):
+        params = dict(self.TINY_PROBE)
+        params.update(threshold_overrides)
+        pipeline = _pipeline(registry)
+        guard = GuardedPipeline(
+            pipeline,
+            policy=ValidationPolicy.repair(),
+            thresholds=GuardThresholds(**params),
+            seed=0,
+            metrics=registry,
+        )
+        return InferenceServer(
+            guard,
+            ServingConfig(
+                max_batch_size=4, max_wait_ms=5.0, workers=2
+            ),
+            metrics=registry,
+        )
+
+    def test_faults_trip_breaker_without_losing_requests(self, rng):
+        # Impossible thresholds with trip_limit=1: the first dispatch
+        # trips every probe and opens the breakers, while every
+        # request still completes (degraded, not dropped).
+        registry = MetricsRegistry()
+        server = self._guarded_server(
+            registry,
+            max_density_cv=-1.0,
+            max_false_neighbor_rate=-1.0,
+            trip_limit=1,
+        )
+        injector = FaultInjector(seed=7)
+        spec = FaultSpec("storm", "duplicate_storm", fraction=0.5)
+        with server:
+            requests = []
+            for index in range(12):
+                cloud = rng.random((N_POINTS, 3))
+                if index % 2 == 0:
+                    cloud = injector.apply(cloud, spec)
+                requests.append(server.submit(cloud))
+        results = [r.future.result(timeout=10.0) for r in requests]
+        assert len(results) == 12  # nothing lost, no deadlock
+        assert server.outstanding == 0
+        guard = server.pipeline
+        assert "open" in set(guard.breaker_states.values())
+        transitions = sum(
+            entry["value"]
+            for entry in registry.snapshot()["metrics"]
+            if entry["name"] == "guard_breaker_transitions_total"
+        )
+        assert transitions >= 1
+        # Serving metrics carry the trip's visible effects too.
+        assert registry.counter("serving_completed_total").value == 12
+        assert any(result.degraded_stages for result in results)
+
+    def test_unrepairable_batch_fails_typed_others_survive(self, rng):
+        # A reject-policy guard turns an all-NaN cloud into a
+        # structured rejection; the server surfaces it as a typed
+        # failure on that batch only.
+        registry = MetricsRegistry()
+        pipeline = _pipeline(registry)
+        guard = GuardedPipeline(
+            pipeline,
+            policy=ValidationPolicy(),  # strict: reject
+            thresholds=GuardThresholds(**self.TINY_PROBE),
+            seed=0,
+            metrics=registry,
+        )
+        server = InferenceServer(
+            guard,
+            ServingConfig(
+                max_batch_size=1, max_wait_ms=1.0, workers=1
+            ),
+            metrics=registry,
+        )
+        bad = np.full((N_POINTS, 3), np.nan)
+        with server:
+            poisoned = server.submit(bad)
+            healthy = server.submit(rng.random((N_POINTS, 3)))
+        assert healthy.future.result(timeout=10.0).prediction.shape
+        with pytest.raises(Exception):
+            poisoned.future.result(timeout=10.0)
+        assert server.outstanding == 0
+        assert registry.counter("serving_completed_total").value == 1
+
+
+def _virtual_server(registry=None, seed=0, **config_kwargs):
+    clock = FixedClock(0.0)
+    defaults = dict(max_batch_size=8, max_wait_ms=50.0, workers=2)
+    defaults.update(config_kwargs)
+    server = InferenceServer(
+        _pipeline(registry, seed=seed),
+        ServingConfig(**defaults),
+        clock=clock,
+        metrics=registry,
+    )
+    return server
+
+
+class TestLoadGenerator:
+    def _run(self, gen_kwargs=None, **config_kwargs):
+        server = _virtual_server(MetricsRegistry(), **config_kwargs)
+        params = dict(
+            duration_s=1.0, rate=50.0, seed=11, points=(N_POINTS,)
+        )
+        params.update(gen_kwargs or {})
+        return LoadGenerator(server, LoadGenConfig(**params)).run()
+
+    def test_two_runs_are_identical(self):
+        first = self._run().to_dict()
+        second = self._run().to_dict()
+        assert first == second
+
+    def test_batching_actually_happens_at_50rps(self):
+        report = self._run()
+        assert report.mean_batch_size > 1.5
+        assert report.lost == 0
+        assert report.failed == 0
+        assert report.completed == report.admitted
+        assert report.latency_ms["p50"] > 0
+        assert report.latency_ms["p99"] >= report.latency_ms["p95"]
+
+    def test_fixed_arrivals_offer_exact_count(self):
+        report = self._run({"arrival": "fixed", "duration_s": 1.0})
+        assert report.submitted == 50
+
+    def test_closed_loop_self_limits(self):
+        report = self._run(
+            {"mode": "closed", "concurrency": 4, "duration_s": 0.5}
+        )
+        assert report.submitted >= 4
+        assert report.lost == 0
+        assert report.failed == 0
+
+    def test_deadlines_expire_as_typed_outcomes(self):
+        # A deadline shorter than the batching window: every request
+        # expires before its bucket's timeout flush.
+        report = self._run(
+            {"deadline_ms": 10.0, "duration_s": 0.3},
+            max_batch_size=64,
+            max_wait_ms=500.0,
+        )
+        assert report.expired > 0
+        assert report.lost == 0
+        assert report.expired + report.completed == report.admitted
+
+    def test_overload_sheds_via_admission_control(self):
+        report = self._run(
+            {"rate": 2000.0, "duration_s": 0.2},
+            max_queue_depth=16,
+            max_wait_ms=200.0,
+        )
+        assert report.rejected > 0
+        assert report.lost == 0
+        assert (
+            report.admitted + report.rejected == report.submitted
+        )
+
+    def test_requires_a_fixed_clock(self):
+        server = InferenceServer(_pipeline())  # wall clock
+        with pytest.raises(TypeError):
+            LoadGenerator(server, LoadGenConfig(duration_s=0.1))
+
+    def test_report_roundtrips_to_json(self, tmp_path):
+        import json
+
+        report = self._run({"duration_s": 0.2})
+        path = tmp_path / "report.json"
+        report.save(str(path))
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(report.to_dict())
+        )
+        assert "loadgen" in report.summary()
