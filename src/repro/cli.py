@@ -21,12 +21,16 @@ Commands:
 - ``bench``    — time the batched kernels against per-cloud loops and
   optionally gate against a committed ``BENCH_kernels.json`` baseline;
 - ``serve``    — threaded micro-batching serving demo: submit a burst
-  of seeded clouds to an in-process :class:`InferenceServer`, drain
-  gracefully, and print the serving counters;
+  of seeded clouds to an in-process :class:`InferenceServer` (or a
+  :class:`ServerFleet` with ``--replicas``), drain gracefully, and
+  print the serving counters;
 - ``loadgen``  — deterministic virtual-time load generation against an
-  in-process server; reports admission decisions, batch-size
-  histogram, latency percentiles, and goodput (see
+  in-process server or replica fleet; reports admission decisions,
+  batch-size histogram, latency percentiles, and goodput (see
   ``docs/serving.md``);
+- ``chaos``    — deterministic fault injection: drive load against a
+  replica fleet while killing/stalling/slowing replicas on a virtual
+  schedule, and gate p95/goodput against ``BENCH_serving.json``;
 - ``lint``     — project-aware static analysis.
 
 ``profile``, ``compare``, and ``sample`` additionally accept
@@ -578,81 +582,137 @@ def _serving_config(args, default_deadline_ms=None):
     )
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    """Threaded serving demo: burst-submit seeded clouds, drain, report."""
-    from repro.serving import InferenceServer
+def _fleet_config(args):
+    from repro.serving import FleetConfig, HedgePolicy, RetryPolicy
 
-    tracer, registry = _telemetry(args)
-    pipeline = _serving_pipeline(args.seed, args.guard, tracer, registry)
-    server = InferenceServer(
-        pipeline,
-        _serving_config(args, default_deadline_ms=args.deadline_ms),
+    hedge_ms = getattr(args, "hedge_ms", None)
+    return FleetConfig(
+        default_deadline_ms=args.deadline_ms,
+        retry=RetryPolicy(max_attempts=args.retries),
+        hedge=(
+            None
+            if hedge_ms is None
+            else HedgePolicy(min_delay_s=hedge_ms / 1e3)
+        ),
+    )
+
+
+def _build_fleet(args, tracer, registry, clock=None):
+    """N identical replicas (same seed) behind the fleet router."""
+    from repro.observability.clock import wall_clock
+    from repro.serving import ServerFleet
+
+    pipelines = [
+        _serving_pipeline(args.seed, args.guard, tracer, registry)
+        for _ in range(args.replicas)
+    ]
+    return ServerFleet(
+        pipelines,
+        config=_fleet_config(args),
+        serving_config=_serving_config(args),
+        clock=clock if clock is not None else wall_clock,
         tracer=tracer,
         metrics=registry,
     )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Threaded serving demo: burst-submit seeded clouds, drain, report.
+
+    With ``--replicas N`` (N > 1) the burst goes through a
+    :class:`~repro.serving.fleet.ServerFleet` instead of a single
+    server, exercising routing, health tracking, and retries under
+    real threads.
+    """
+    from repro.serving import InferenceServer
+
+    tracer, registry = _telemetry(args)
     rng = np.random.default_rng(args.seed)
     outcomes: dict = {}
     requests = []
-    with server:
-        for _ in range(args.requests):
-            try:
-                requests.append(
-                    server.submit(rng.random((args.points, 3)))
-                )
-            except Exception as err:
-                kind = type(err).__name__
-                outcomes[kind] = outcomes.get(kind, 0) + 1
-                registry.counter(
-                    "cli_request_errors_total", kind=kind
-                ).inc()
+
+    def _count_error(err: Exception) -> str:
+        kind = type(err).__name__
+        outcomes[kind] = outcomes.get(kind, 0) + 1
+        return kind
+
+    if args.replicas > 1:
+        fleet = _build_fleet(args, tracer, registry)
+        with fleet:
+            for index in range(args.requests):
+                try:
+                    requests.append(
+                        fleet.submit(
+                            rng.random((args.points, 3)),
+                            tenant=f"tenant-{index % 4}",
+                        )
+                    )
+                except Exception as err:
+                    registry.counter(
+                        "cli_request_errors_total",
+                        kind=_count_error(err),
+                    ).inc()
+        stats = fleet.stats()
+    else:
+        pipeline = _serving_pipeline(
+            args.seed, args.guard, tracer, registry
+        )
+        server = InferenceServer(
+            pipeline,
+            _serving_config(
+                args, default_deadline_ms=args.deadline_ms
+            ),
+            tracer=tracer,
+            metrics=registry,
+        )
+        with server:
+            for _ in range(args.requests):
+                try:
+                    requests.append(
+                        server.submit(rng.random((args.points, 3)))
+                    )
+                except Exception as err:
+                    registry.counter(
+                        "cli_request_errors_total",
+                        kind=_count_error(err),
+                    ).inc()
+        stats = server.stats()
     for request in requests:
         try:
             request.future.result(timeout=30.0)
         except Exception as err:
-            kind = type(err).__name__
-            outcomes[kind] = outcomes.get(kind, 0) + 1
             registry.counter(
-                "cli_request_errors_total", kind=kind
+                "cli_request_errors_total", kind=_count_error(err)
             ).inc()
         else:
             outcomes["ok"] = outcomes.get("ok", 0) + 1
-    stats = server.stats()
     print(
-        f"served {args.requests} requests with {args.workers} "
-        f"worker(s), max batch {args.max_batch_size}, "
-        f"window {args.max_wait_ms:.0f} ms"
+        f"served {args.requests} requests with {args.replicas} "
+        f"replica(s) x {args.workers} worker(s), max batch "
+        f"{args.max_batch_size}, window {args.max_wait_ms:.0f} ms"
     )
     for kind in sorted(outcomes):
         print(f"  {kind}: {outcomes[kind]}")
-    print(
-        "  batches {batches:.0f}  mean batch size "
-        "{mean_batch_size:.2f}  outstanding {outstanding:.0f}".format(
-            **stats
+    if args.replicas > 1:
+        print(
+            "  completed {completed:.0f}  failed {failed:.0f}  "
+            "retries {retries:.0f}  healthy replicas "
+            "{healthy:.0f}".format(**stats)
         )
-    )
+    else:
+        print(
+            "  batches {batches:.0f}  mean batch size "
+            "{mean_batch_size:.2f}  outstanding "
+            "{outstanding:.0f}".format(**stats)
+        )
     _export_telemetry(args, tracer, registry)
     return 0
 
 
-def cmd_loadgen(args: argparse.Namespace) -> int:
-    """Deterministic virtual-time load run against an in-process server."""
-    from repro.observability.clock import FixedClock
-    from repro.serving import (
-        InferenceServer,
-        LoadGenConfig,
-        LoadGenerator,
-    )
+def _loadgen_config(args) -> "object":
+    from repro.serving import LoadGenConfig
 
-    tracer, registry = _telemetry(args)
-    pipeline = _serving_pipeline(args.seed, args.guard, tracer, registry)
-    server = InferenceServer(
-        pipeline,
-        _serving_config(args),
-        clock=FixedClock(0.0),
-        tracer=tracer,
-        metrics=registry,
-    )
-    config = LoadGenConfig(
+    return LoadGenConfig(
         duration_s=args.duration_s,
         rate=args.rate,
         arrival=args.arrival,
@@ -661,13 +721,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         points=tuple(args.points),
         deadline_ms=args.deadline_ms,
         seed=args.seed,
+        tenants=getattr(args, "tenants", 4),
     )
-    report = LoadGenerator(server, config).run()
-    print(report.summary())
-    if args.out:
-        report.save(args.out)
-        print(f"wrote load report -> {args.out}")
-    _export_telemetry(args, tracer, registry)
+
+
+def _loadgen_gate(args, report) -> int:
+    """Shared ``--fail-on-error`` exit-code logic for load reports."""
     if args.fail_on_error and (report.failed or report.lost):
         print(
             f"loadgen gate failed: {report.failed} failed and "
@@ -677,6 +736,134 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Deterministic virtual-time load run against an in-process server.
+
+    With ``--replicas N`` (N > 1) the same closed virtual-time loop
+    drives a :class:`~repro.serving.fleet.ServerFleet` through the
+    router/retry/hedge path instead of a single server.
+    """
+    from repro.observability.clock import FixedClock
+    from repro.serving import (
+        FleetLoadGenerator,
+        InferenceServer,
+        LoadGenerator,
+    )
+
+    tracer, registry = _telemetry(args)
+    clock = FixedClock(0.0)
+    config = _loadgen_config(args)
+    if args.replicas > 1:
+        fleet = _build_fleet(args, tracer, registry, clock=clock)
+        report = FleetLoadGenerator(
+            fleet, config, clock=clock
+        ).run()
+    else:
+        pipeline = _serving_pipeline(
+            args.seed, args.guard, tracer, registry
+        )
+        server = InferenceServer(
+            pipeline,
+            _serving_config(args),
+            clock=clock,
+            tracer=tracer,
+            metrics=registry,
+        )
+        report = LoadGenerator(server, config).run()
+    print(report.summary())
+    if args.out:
+        report.save(args.out)
+        print(f"wrote load report -> {args.out}")
+    _export_telemetry(args, tracer, registry)
+    return _loadgen_gate(args, report)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Deterministic chaos run: break replicas mid-load, gate the report.
+
+    Drives a virtual-time load generator against a replica fleet while
+    a :class:`~repro.serving.chaos.ChaosHarness` kills/stalls/slows
+    replicas on schedule.  The run is fully deterministic (FixedClock +
+    seeded RNG), so the resulting :class:`LoadReport` doubles as a
+    regression artifact: ``--baseline`` gates p95 latency and goodput
+    against a committed ``BENCH_serving.json``.
+    """
+    from repro.observability.clock import FixedClock
+    from repro.serving import (
+        ChaosHarness,
+        ChaosSchedule,
+        FleetLoadGenerator,
+    )
+
+    if args.replicas < 2:
+        print("chaos runs need --replicas >= 2", file=sys.stderr)
+        return 2
+    tracer, registry = _telemetry(args)
+    clock = FixedClock(0.0)
+    fleet = _build_fleet(args, tracer, registry, clock=clock)
+    if args.event:
+        schedule = ChaosSchedule.from_specs(args.event)
+    else:
+        schedule = ChaosSchedule.standard(
+            args.replicas, args.duration_s
+        )
+    harness = ChaosHarness(fleet, schedule, metrics=registry)
+    report = FleetLoadGenerator(
+        fleet, _loadgen_config(args), clock=clock, chaos=harness
+    ).run()
+    print(report.summary())
+    for event in harness.applied:
+        print(f"  chaos: {event.describe()}")
+    if args.out:
+        report.save(args.out)
+        print(f"wrote load report -> {args.out}")
+    _export_telemetry(args, tracer, registry)
+    bench = {
+        "bench": "serving_chaos",
+        "replicas": args.replicas,
+        "duration_s": args.duration_s,
+        "rate": args.rate,
+        "seed": args.seed,
+        "chaos_events": len(harness.applied),
+        "completed": report.completed,
+        "goodput_rps": round(report.goodput_rps, 6),
+        "p95_ms": round(report.latency_ms.get("p95", 0.0), 6),
+    }
+    if args.bench_out:
+        with open(args.bench_out, "w") as fh:
+            json.dump(bench, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote serving bench -> {args.bench_out}")
+    status = _loadgen_gate(args, report)
+    if args.baseline:
+        with open(args.baseline) as fh:
+            base = json.load(fh)
+        tol = args.tolerance
+        p95_limit = base["p95_ms"] * (1.0 + tol)
+        goodput_floor = base["goodput_rps"] * (1.0 - tol)
+        print(
+            f"baseline gate: p95 {bench['p95_ms']:.3f} ms "
+            f"(limit {p95_limit:.3f}), goodput "
+            f"{bench['goodput_rps']:.3f} rps "
+            f"(floor {goodput_floor:.3f})"
+        )
+        if bench["p95_ms"] > p95_limit:
+            print(
+                "chaos gate failed: p95 latency regressed past "
+                f"baseline * (1 + {tol})",
+                file=sys.stderr,
+            )
+            status = 1
+        if bench["goodput_rps"] < goodput_floor:
+            print(
+                "chaos gate failed: goodput fell below "
+                f"baseline * (1 - {tol})",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -919,6 +1106,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--guard", action="store_true",
             help="wrap the pipeline in the GuardedPipeline",
         )
+        cmd.add_argument(
+            "--replicas", type=int, default=1,
+            help="fleet size; > 1 routes through the ServerFleet "
+            "with health tracking, retries, and hedging",
+        )
+        cmd.add_argument(
+            "--retries", type=int, default=3,
+            help="fleet retry budget (max attempts per request, "
+            "including the first)",
+        )
+        cmd.add_argument(
+            "--hedge-ms", type=float, default=None,
+            help="enable hedged dispatch with this minimum delay; "
+            "unset disables hedging",
+        )
         _add_telemetry_flags(cmd)
 
     serve_cmd = sub.add_parser(
@@ -937,49 +1139,86 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serving_flags(serve_cmd)
     serve_cmd.set_defaults(func=cmd_serve)
 
+    def _add_loadgen_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--duration-s", type=float, default=5.0,
+            help="virtual seconds of offered load",
+        )
+        cmd.add_argument(
+            "--rate", type=float, default=50.0,
+            help="offered requests per second (open loop)",
+        )
+        cmd.add_argument(
+            "--arrival", default="poisson",
+            choices=("poisson", "fixed"),
+            help="arrival process",
+        )
+        cmd.add_argument(
+            "--mode", default="open", choices=("open", "closed"),
+            help="open loop (rate-driven) or closed loop "
+            "(completion-driven)",
+        )
+        cmd.add_argument(
+            "--concurrency", type=int, default=8,
+            help="closed-loop in-flight clients",
+        )
+        cmd.add_argument(
+            "--points", type=int, nargs="+", default=[64],
+            metavar="N",
+            help="candidate cloud sizes; mixed sizes exercise the "
+            "batcher's N-buckets",
+        )
+        cmd.add_argument(
+            "--tenants", type=int, default=4,
+            help="distinct tenant keys driving the fleet router "
+            "(the lowest-indexed tenant is low priority)",
+        )
+        cmd.add_argument(
+            "--out", default=None, metavar="FILE",
+            help="write the JSON load report",
+        )
+        cmd.add_argument(
+            "--fail-on-error", action="store_true",
+            help="exit 1 on any failed or lost request (admission "
+            "rejections and deadline expiries do not count)",
+        )
+        _add_serving_flags(cmd)
+
     loadgen_cmd = sub.add_parser(
         "loadgen",
         help="deterministic virtual-time load generation against an "
-        "in-process server (see docs/serving.md)",
+        "in-process server or replica fleet (see docs/serving.md)",
     )
-    loadgen_cmd.add_argument(
-        "--duration-s", type=float, default=5.0,
-        help="virtual seconds of offered load",
-    )
-    loadgen_cmd.add_argument(
-        "--rate", type=float, default=50.0,
-        help="offered requests per second (open loop)",
-    )
-    loadgen_cmd.add_argument(
-        "--arrival", default="poisson", choices=("poisson", "fixed"),
-        help="arrival process",
-    )
-    loadgen_cmd.add_argument(
-        "--mode", default="open", choices=("open", "closed"),
-        help="open loop (rate-driven) or closed loop "
-        "(completion-driven)",
-    )
-    loadgen_cmd.add_argument(
-        "--concurrency", type=int, default=8,
-        help="closed-loop in-flight clients",
-    )
-    loadgen_cmd.add_argument(
-        "--points", type=int, nargs="+", default=[64],
-        metavar="N",
-        help="candidate cloud sizes; mixed sizes exercise the "
-        "batcher's N-buckets",
-    )
-    loadgen_cmd.add_argument(
-        "--out", default=None, metavar="FILE",
-        help="write the JSON load report",
-    )
-    loadgen_cmd.add_argument(
-        "--fail-on-error", action="store_true",
-        help="exit 1 on any failed or lost request (admission "
-        "rejections and deadline expiries do not count)",
-    )
-    _add_serving_flags(loadgen_cmd)
+    _add_loadgen_flags(loadgen_cmd)
     loadgen_cmd.set_defaults(func=cmd_loadgen)
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="deterministic fault injection against a replica fleet "
+        "under load (see docs/serving.md)",
+    )
+    chaos_cmd.add_argument(
+        "--event", action="append", default=None,
+        metavar="ACTION:REPLICA:AT_S[:FACTOR]",
+        help="chaos event spec, repeatable (kill/stall/slow/error/"
+        "recover); default: the standard kill-and-recover schedule",
+    )
+    chaos_cmd.add_argument(
+        "--bench-out", default=None, metavar="FILE",
+        help="write the BENCH_serving.json summary (p95 + goodput)",
+    )
+    chaos_cmd.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="gate p95 latency and goodput against this "
+        "BENCH_serving.json",
+    )
+    chaos_cmd.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="relative slack for the --baseline gate",
+    )
+    _add_loadgen_flags(chaos_cmd)
+    chaos_cmd.set_defaults(func=cmd_chaos)
+    chaos_cmd.set_defaults(replicas=3)
 
     lint_cmd = sub.add_parser(
         "lint",

@@ -169,3 +169,101 @@ class ArrayContractRule(Rule):
                     f"docstring documents no {'/'.join(missing)} "
                     "contract",
                 )
+
+
+#: Package whose retry loops the PR-6 fleet discipline covers.
+RETRY_PACKAGE = "repro.serving"
+
+#: Identifier substrings that count as evidence the loop computes a
+#: jittered backoff (rather than hammering at a fixed cadence).
+_BACKOFF_HINTS = ("backoff", "jitter")
+
+#: Identifier substrings that count as evidence the loop honors the
+#: request deadline (bounding total retry time, not just attempts).
+_DEADLINE_HINTS = ("deadline", "remaining")
+
+
+def _is_sleep_call(node: ast.Call) -> bool:
+    """``sleep(...)`` or ``<anything>.sleep(...)``.
+
+    ``condition.wait(timeout)`` is deliberately NOT matched: waiting
+    on a condition variable is the sanctioned way to park a serving
+    thread, because a notify wakes it early.
+    """
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "sleep"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "sleep"
+    return False
+
+
+def _loop_identifiers(loop: ast.stmt) -> Iterator[str]:
+    """Every Name / attribute / arg identifier in the loop, lowered."""
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Name):
+            yield node.id.lower()
+        elif isinstance(node, ast.Attribute):
+            yield node.attr.lower()
+        elif isinstance(node, ast.arg):
+            yield node.arg.lower()
+
+
+def _mentions(loop: ast.stmt, hints: Tuple[str, ...]) -> bool:
+    return any(
+        hint in name
+        for name in _loop_identifiers(loop)
+        for hint in hints
+    )
+
+
+@register
+class RetryLoopRule(Rule):
+    """ROBUST-403: retry loop sleeps without backoff or deadline."""
+
+    rule_id = "ROBUST-403"
+    severity = "error"
+    title = "retry loop sleeps without jittered backoff or deadline"
+    rationale = (
+        "PR-6 invariant: a serving-layer retry loop that sleeps a "
+        "fixed interval synchronizes clients into retry storms, and "
+        "one that never consults the request deadline keeps burning "
+        "the budget after the answer stopped mattering.  Sleeps "
+        "inside repro.serving loops must be computed from a jittered "
+        "backoff policy and bounded by the remaining deadline "
+        "(see RetryPolicy.next_backoff)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(RETRY_PACKAGE):
+            return
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.While, ast.For)):
+                continue
+            sleeps = [
+                node
+                for node in ast.walk(loop)
+                if isinstance(node, ast.Call) and _is_sleep_call(node)
+            ]
+            if not sleeps:
+                continue
+            missing = []
+            constant_sleep = any(
+                isinstance(call.args[0], ast.Constant)
+                for call in sleeps
+                if call.args
+            )
+            if constant_sleep or not _mentions(loop, _BACKOFF_HINTS):
+                missing.append("a jittered backoff")
+            if not _mentions(loop, _DEADLINE_HINTS):
+                missing.append("the request deadline")
+            if missing:
+                yield ctx.finding(
+                    self,
+                    sleeps[0],
+                    "retry loop sleeps without consulting "
+                    f"{' or '.join(missing)}; derive the pause from "
+                    "RetryPolicy.next_backoff(attempt, token, "
+                    "remaining_s) so retries jitter apart and stop "
+                    "at the deadline",
+                )

@@ -1,4 +1,4 @@
-"""Serving layer: request queue, micro-batcher, server, load generator.
+"""Serving layer: queue, batcher, server, fleet, chaos, load gen.
 
 Turns the repro library into a runnable service.  Requests for single
 ``(N, 3)`` clouds are admitted by a bounded
@@ -7,7 +7,12 @@ Turns the repro library into a runnable service.  Requests for single
 ``(B, N, 3)`` micro-batches that ride the batched kernel path, and
 dispatched by an :class:`~repro.serving.server.InferenceServer`
 worker pool (or deterministically, in virtual time, by a
-:class:`~repro.serving.loadgen.LoadGenerator`).  See
+:class:`~repro.serving.loadgen.LoadGenerator`).  A
+:class:`~repro.serving.fleet.ServerFleet` fronts N replicas with
+consistent-hash routing, per-replica health tracking, deadline-aware
+retries, hedging, and brownout shedding; the
+:class:`~repro.serving.chaos.ChaosHarness` breaks replicas on a
+deterministic virtual-time schedule to prove it.  See
 ``docs/serving.md``.
 """
 
@@ -16,7 +21,31 @@ from repro.serving.batcher import (
     MicroBatch,
     MicroBatcher,
 )
+from repro.serving.chaos import (
+    CHAOS_ACTIONS,
+    ChaosEvent,
+    ChaosGate,
+    ChaosHarness,
+    ChaosSchedule,
+    ReplicaFaultError,
+    parse_chaos_event,
+)
+from repro.serving.fleet import (
+    BrownoutError,
+    FleetConfig,
+    FleetRequest,
+    NoHealthyReplicaError,
+    Replica,
+    Router,
+    ServerFleet,
+)
+from repro.serving.health import (
+    HEALTH_STATES,
+    HealthPolicy,
+    ReplicaHealth,
+)
 from repro.serving.loadgen import (
+    FleetLoadGenerator,
     LoadGenConfig,
     LoadGenerator,
     LoadReport,
@@ -29,8 +58,15 @@ from repro.serving.queue import (
     RequestQueue,
     ServingRequest,
 )
+from repro.serving.retry import (
+    HedgePolicy,
+    RetryEvent,
+    RetryExhaustedError,
+    RetryPolicy,
+)
 from repro.serving.server import (
     DispatchRecord,
+    DrainTimeoutError,
     InferenceRejectedError,
     InferenceServer,
     ServedResult,
@@ -41,8 +77,21 @@ from repro.serving.server import (
 __all__ = [
     "AdmissionError",
     "BATCH_SIZE_BUCKETS",
+    "BrownoutError",
+    "CHAOS_ACTIONS",
+    "ChaosEvent",
+    "ChaosGate",
+    "ChaosHarness",
+    "ChaosSchedule",
     "DeadlineExceededError",
     "DispatchRecord",
+    "DrainTimeoutError",
+    "FleetConfig",
+    "FleetLoadGenerator",
+    "FleetRequest",
+    "HEALTH_STATES",
+    "HealthPolicy",
+    "HedgePolicy",
     "InferenceRejectedError",
     "InferenceServer",
     "LoadGenConfig",
@@ -50,11 +99,21 @@ __all__ = [
     "LoadReport",
     "MicroBatch",
     "MicroBatcher",
+    "NoHealthyReplicaError",
     "QueueClosedError",
     "QueueFullError",
+    "Replica",
+    "ReplicaFaultError",
+    "ReplicaHealth",
     "RequestQueue",
+    "RetryEvent",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "Router",
     "ServedResult",
+    "ServerFleet",
     "ServingConfig",
     "ServingRequest",
     "swapped_workspace",
+    "parse_chaos_event",
 ]

@@ -257,6 +257,23 @@ class MicroBatcher:
             self._ingest_locked(self.clock())
             return self._pop_due_locked(self.clock())
 
+    def expire_due(self) -> int:
+        """Cancel every queued/buffered request past its deadline.
+
+        Returns the number of requests expired by this call.  Used by
+        the fleet for **stalled** replicas: a hung worker dispatches
+        nothing, but its requests must still fail with a typed
+        :class:`~repro.serving.queue.DeadlineExceededError` the
+        instant their deadlines pass, so callers can retry elsewhere
+        instead of waiting forever.
+        """
+        with self.queue.condition:
+            now = self.clock()
+            self._ingest_locked(now)
+            before = self.requests_expired
+            self._drop_expired_locked(now)
+            return self.requests_expired - before
+
     def next_batch(
         self, timeout_s: Optional[float] = None
     ) -> Optional[MicroBatch]:
@@ -330,6 +347,25 @@ class MicroBatcher:
             now = self.clock()
             hint = self._wait_hint_locked(now)
             return None if hint is None else now + hint
+
+    @property
+    def next_expiry_at(self) -> Optional[float]:
+        """Earliest clock instant a buffered deadline expires.
+
+        Unlike :attr:`next_flush_at` this ignores timeout/full
+        triggers, so a virtual-time event loop can park a *stalled*
+        replica on its next deadline expiry without spinning on a
+        flush that will never dispatch.
+        """
+        with self.queue.condition:
+            self._ingest_locked(self.clock())
+            expiries = [
+                request.deadline_s
+                for bucket in self._buckets.values()
+                for request in bucket
+                if request.deadline_s is not None
+            ]
+            return min(expiries) if expiries else None
 
     @property
     def buffered(self) -> int:

@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -115,6 +115,9 @@ class RequestQueue:
             :meth:`pop_pending` must be called holding it.
         admitted: requests accepted so far (backpressure counter).
         rejected: requests refused so far (backpressure counter).
+        rejected_by_reason: rejection counts keyed by the typed
+            :attr:`AdmissionError.reason` (``queue_full``,
+            ``closed``, ...), mirrored into the load report.
     """
 
     def __init__(
@@ -131,6 +134,7 @@ class RequestQueue:
         self.condition = threading.Condition()
         self.admitted = 0
         self.rejected = 0
+        self.rejected_by_reason: Dict[str, int] = {}
         self._items: List[ServingRequest] = []
         self._backlog = 0
         self._closed = False
@@ -168,6 +172,9 @@ class RequestQueue:
 
     def _count_rejection(self, reason: str) -> None:
         self.rejected += 1
+        self.rejected_by_reason[reason] = (
+            self.rejected_by_reason.get(reason, 0) + 1
+        )
         if self.metrics is not None:
             self.metrics.counter(
                 "serving_rejected_total", reason=reason

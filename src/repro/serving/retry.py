@@ -1,0 +1,191 @@
+"""Deadline-aware retry and hedging policies for the serving fleet.
+
+A failed attempt on one replica is only worth retrying if the retry
+can still land inside the request's latency budget — EdgePC's
+per-frame deadlines (Sec. 7) leave no room for a retry storm that
+delivers answers after the frame they were for.  :class:`RetryPolicy`
+therefore computes exponential backoff with **deterministic jitter**
+(a :func:`zlib.crc32` hash of the request id and attempt number, not
+wall-clock randomness) and refuses to schedule a retry whose backoff
+alone would consume the remaining ``deadline_s`` budget.
+
+:class:`HedgePolicy` covers the complementary tail-latency case: a
+replica that is *slow* rather than failed.  Once enough attempt
+latencies have been observed, a request still pending past the
+configured quantile gets a second, hedged dispatch on another replica;
+first result wins and the loser is cancelled
+(:class:`~repro.serving.fleet.ServerFleet` does the bookkeeping).
+
+Every retry/hedge decision is appended to the fleet's trace as a
+:class:`RetryEvent` — a plain record keyed on virtual-time instants,
+so two runs at the same seed produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+
+class RetryExhaustedError(RuntimeError):
+    """Every allowed attempt failed (or no retry fit the deadline).
+
+    Carries a machine-readable :attr:`reason` like the admission
+    errors, so load generators can bucket terminal outcomes.
+    """
+
+    reason = "retry_exhausted"
+
+
+def _unit_hash(token: str) -> float:
+    """Deterministic uniform-ish draw in ``[0, 1)`` from a token."""
+    return zlib.crc32(token.encode("utf-8")) / 2.0**32
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter and a deadline cap.
+
+    Attributes:
+        max_attempts: total dispatch attempts per request (the first
+            attempt counts; ``1`` disables retries).
+        base_backoff_s: backoff before the first retry.
+        multiplier: backoff growth factor per further retry.
+        max_backoff_s: ceiling on the un-jittered backoff.
+        jitter: jitter fraction in ``[0, 1]``; the backoff is scaled
+            by a deterministic factor in ``[1 - jitter, 1 + jitter]``
+            derived from the request id and attempt number, so
+            synchronized failures don't retry in lockstep yet two
+            runs at the same seed stay byte-identical.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.02
+    multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        if self.base_backoff_s < 0:
+            raise ValueError("base_backoff_s must be non-negative")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ValueError(
+                "max_backoff_s must be >= base_backoff_s"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def backoff_s(self, attempt: int, token: str = "") -> float:
+        """Jittered backoff before retry number ``attempt``.
+
+        ``attempt`` counts completed attempts (1 = first retry).  The
+        jitter factor is a pure function of ``(token, attempt)``, so
+        the schedule is deterministic per request.
+        """
+        if attempt < 1:
+            raise ValueError("attempt must be >= 1")
+        raw = self.base_backoff_s * self.multiplier ** (attempt - 1)
+        raw = min(raw, self.max_backoff_s)
+        if self.jitter == 0.0:
+            return raw
+        unit = _unit_hash(f"{token}:{attempt}")
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+
+    def next_backoff(
+        self,
+        attempt: int,
+        token: str = "",
+        remaining_s: Optional[float] = None,
+    ) -> Optional[float]:
+        """Backoff before the next retry, or ``None`` to give up.
+
+        Returns ``None`` when the attempt budget is spent or when the
+        backoff alone would consume the remaining deadline budget
+        (``remaining_s``) — a retry that cannot finish in time is load
+        the fleet should shed, not carry.
+        """
+        if attempt >= self.max_attempts:
+            return None
+        backoff = self.backoff_s(attempt, token)
+        if remaining_s is not None and backoff >= remaining_s:
+            return None
+        return backoff
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When to issue a duplicate (hedged) dispatch for a slow attempt.
+
+    Attributes:
+        quantile: attempt-latency quantile past which a still-pending
+            primary attempt earns a hedge.
+        min_delay_s: floor on the hedge delay — also the delay used
+            before enough latency samples exist.
+        min_samples: observed attempt latencies required before the
+            quantile estimate is trusted.
+    """
+
+    quantile: float = 0.95
+    min_delay_s: float = 0.05
+    min_samples: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must be within (0, 1)")
+        if self.min_delay_s <= 0:
+            raise ValueError("min_delay_s must be positive")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be positive")
+
+    def delay_s(self, latencies: Sequence[float]) -> float:
+        """Hedge delay given the observed attempt latencies."""
+        if len(latencies) < self.min_samples:
+            return self.min_delay_s
+        ordered = sorted(latencies)
+        position = self.quantile * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        frac = position - low
+        estimate = ordered[low] * (1.0 - frac) + ordered[high] * frac
+        return max(self.min_delay_s, estimate)
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One entry of a fleet's retry/hedge trace.
+
+    Attributes:
+        t_s: virtual-clock instant of the decision.
+        request_id: the fleet-level request id.
+        attempt: dispatch attempts made so far for the request.
+        replica: replica index involved (``-1`` when none applies).
+        event: ``dispatch`` | ``refused`` | ``retry`` | ``hedge`` |
+            ``hedge_win`` | ``hedge_cancel`` | ``exhausted`` |
+            ``failed`` | ``expired``.
+        detail: error type or free-form annotation.
+        backoff_s: scheduled backoff (retry events only).
+    """
+
+    t_s: float
+    request_id: str
+    attempt: int
+    replica: int
+    event: str
+    detail: str = ""
+    backoff_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "t_s": self.t_s,
+            "request_id": self.request_id,
+            "attempt": self.attempt,
+            "replica": self.replica,
+            "event": self.event,
+            "detail": self.detail,
+            "backoff_s": self.backoff_s,
+        }

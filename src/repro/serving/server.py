@@ -57,6 +57,16 @@ class InferenceRejectedError(RuntimeError):
     """The pipeline refused the batch (guard rejection, bad input)."""
 
 
+class DrainTimeoutError(RuntimeError):
+    """A worker thread failed to join within ``stop()``'s timeout.
+
+    A thread that outlives the join may still hold requests whose
+    futures will never resolve; surfacing that as a typed error (with
+    the stuck thread names) beats silently dropping the thread and
+    letting the loss go unnoticed.
+    """
+
+
 @dataclass(frozen=True)
 class ServingConfig:
     """Knobs of the serving layer (see ``docs/serving.md``).
@@ -447,6 +457,10 @@ class InferenceServer:
         (the batcher's drain trigger flushes partial buckets); with
         ``drain=False`` undispatched requests fail fast with a typed
         :class:`~repro.serving.queue.QueueClosedError`.
+
+        Raises :class:`DrainTimeoutError` when a worker thread is
+        still alive after its join timed out — requests it held may
+        never resolve, which must not pass silently.
         """
         with self.tracer.span("serving.stop", "serving") as span:
             span.set("drain", drain)
@@ -455,9 +469,25 @@ class InferenceServer:
                 self._cancel_pending()
             for thread in self._threads:
                 thread.join(timeout=timeout_s)
+            stuck = [
+                thread.name
+                for thread in self._threads
+                if thread.is_alive()
+            ]
             self._threads = []
+            span.set("stuck", len(stuck))
             if self.metrics is not None:
                 self.metrics.gauge("serving_workers").set(0.0)
+            if stuck:
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "serving_drain_timeouts_total"
+                    ).inc(len(stuck))
+                raise DrainTimeoutError(
+                    f"{len(stuck)} worker thread(s) failed to join "
+                    f"within {timeout_s:.1f}s: {', '.join(stuck)}; "
+                    "their in-flight requests may never resolve"
+                )
 
     def _cancel_pending(self) -> None:
         with self.queue.condition:

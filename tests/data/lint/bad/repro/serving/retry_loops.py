@@ -1,0 +1,36 @@
+"""Known-bad serving retry-loop fixture: ROBUST-403 must fire three
+times (fixed-interval sleep, deadline-blind backoff, and a loop with
+neither)."""
+
+import time
+
+
+def poll_until_ready(server, deadline_s, clock):
+    # Fixed cadence: honors the deadline but retries in lockstep.
+    while clock() < deadline_s:
+        if server.ready():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def retry_forever(server, cloud, policy):
+    # Jittered backoff, but nothing bounds the total retry time.
+    attempt = 1
+    while True:
+        try:
+            return server.submit(cloud)
+        except RuntimeError:
+            backoff_s = policy.backoff_s(attempt, token="retry")
+            time.sleep(backoff_s)
+            attempt += 1
+
+
+def hammer(server, cloud):
+    # Worst case: fixed interval and no deadline at all.
+    for _ in range(100):
+        try:
+            return server.submit(cloud)
+        except RuntimeError:
+            time.sleep(0.01)
+    return None

@@ -1,0 +1,29 @@
+"""Known-good serving retry-loop fixture: sleeps derive from the
+jittered backoff policy and stop at the request deadline, so
+ROBUST-403 stays silent (as does every other rule)."""
+
+import time
+
+
+def submit_with_retries(server, cloud, policy, deadline_s, clock):
+    attempt = 1
+    while True:
+        try:
+            return server.submit(cloud)
+        except RuntimeError:
+            remaining_s = deadline_s - clock()
+            backoff_s = policy.next_backoff(
+                attempt, token="retry", remaining_s=remaining_s
+            )
+            if backoff_s is None:
+                raise
+            time.sleep(backoff_s)
+            attempt += 1
+
+
+def wait_for_drain(queue, timeout_s):
+    # Condition waits are the sanctioned pause: a notify wakes the
+    # waiter early, so there is no fixed retry cadence to jitter.
+    with queue.condition:
+        while queue.depth > 0:
+            queue.condition.wait(timeout=timeout_s)

@@ -1,0 +1,423 @@
+"""Tests for the fault-tolerant serving fleet (PR 6).
+
+Covers the retry/hedge policies, the replica health state machine
+(including eject -> probation -> re-admit), consistent-hash routing,
+deterministic chaos injection, and the fleet itself: zero lost
+requests when a replica dies mid-load, deadline-aware retries, hedged
+dispatch, brownout shedding, and byte-identical reports and retry
+traces across same-seed runs — all in virtual time.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import EdgePCConfig
+from repro.nn import PointNet2Segmentation, SAConfig
+from repro.observability.clock import FixedClock
+from repro.observability.metrics import MetricsRegistry
+from repro.pipeline import EdgePCPipeline
+from repro.serving import (
+    BrownoutError,
+    ChaosHarness,
+    ChaosSchedule,
+    DeadlineExceededError,
+    FleetConfig,
+    FleetLoadGenerator,
+    HealthPolicy,
+    HedgePolicy,
+    LoadGenConfig,
+    NoHealthyReplicaError,
+    ReplicaFaultError,
+    ReplicaHealth,
+    RetryExhaustedError,
+    RetryPolicy,
+    Router,
+    ServerFleet,
+    ServingConfig,
+    parse_chaos_event,
+)
+
+N_POINTS = 32
+
+
+def _pipeline(metrics=None, seed=0):
+    model = PointNet2Segmentation(
+        num_classes=3,
+        sa_configs=(SAConfig(0.5, 4, 1.5, (8, 8)),),
+        edgepc=EdgePCConfig.paper_default(),
+        head_hidden=8,
+        rng=np.random.default_rng(seed),
+    )
+    return EdgePCPipeline(model, metrics=metrics)
+
+
+def _fleet(replicas=3, clock=None, config=None, serving=None, metrics=None):
+    clock = clock if clock is not None else FixedClock(0.0)
+    fleet = ServerFleet(
+        [_pipeline(metrics=None, seed=0) for _ in range(replicas)],
+        config=config or FleetConfig(),
+        serving_config=serving
+        or ServingConfig(max_batch_size=4, max_wait_ms=20.0, workers=1),
+        clock=clock,
+        metrics=metrics,
+    )
+    return fleet, clock
+
+
+def _drive(fleet, clock, request, step_s=0.01, max_steps=400):
+    """Advance virtual time in fixed steps, pumping every replica and
+    servicing fleet timers, until the request's future resolves."""
+    for _ in range(max_steps):
+        if request.future.done():
+            return
+        clock.advance(step_s)
+        now = clock()
+        for index in range(len(fleet.replicas)):
+            fleet.pump_replica(index)
+        fleet.service(now)
+    raise AssertionError("request did not resolve in virtual time")
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=6,
+            base_backoff_s=0.1,
+            multiplier=2.0,
+            max_backoff_s=0.5,
+            jitter=0.0,
+        )
+        values = [policy.backoff_s(a) for a in (1, 2, 3, 4, 5)]
+        assert values == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_backoff_s=0.1, jitter=0.5)
+        first = policy.backoff_s(1, token="r1")
+        assert first == policy.backoff_s(1, token="r1")
+        assert 0.05 <= first <= 0.15
+        assert policy.backoff_s(1, token="r2") != first
+
+    def test_next_backoff_stops_at_max_attempts(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.next_backoff(1, "r1") is not None
+        assert policy.next_backoff(2, "r1") is None
+
+    def test_next_backoff_honors_remaining_deadline(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_backoff_s=0.1, jitter=0.0
+        )
+        assert policy.next_backoff(1, "r1", remaining_s=1.0) == 0.1
+        assert policy.next_backoff(1, "r1", remaining_s=0.05) is None
+
+
+class TestHedgePolicy:
+    def test_floor_until_enough_samples(self):
+        policy = HedgePolicy(min_delay_s=0.05, min_samples=4)
+        assert policy.delay_s([]) == 0.05
+        assert policy.delay_s([0.2, 0.2, 0.2]) == 0.05
+
+    def test_quantile_with_floor(self):
+        policy = HedgePolicy(
+            quantile=0.5, min_delay_s=0.05, min_samples=2
+        )
+        assert policy.delay_s([0.2, 0.2, 0.2, 0.2]) == 0.2
+        assert policy.delay_s([0.001, 0.001, 0.001, 0.001]) == 0.05
+
+
+class TestReplicaHealth:
+    def _health(self, **overrides):
+        policy = HealthPolicy(
+            window_s=2.0,
+            min_samples=2,
+            degrade_failure_rate=0.2,
+            eject_failure_rate=0.6,
+            eject_consecutive_failures=2,
+            eject_s=0.5,
+            probation_successes=2,
+            recover_successes=2,
+            **overrides,
+        )
+        return ReplicaHealth(0, policy=policy)
+
+    def test_starts_healthy(self):
+        assert self._health().state == "healthy"
+
+    def test_consecutive_failures_eject(self):
+        health = self._health()
+        health.record_failure(0.1, "fault")
+        health.record_failure(0.2, "fault")
+        assert health.state == "ejected"
+        assert [t[2] for t in health.transitions] == ["ejected"]
+
+    def test_eject_probation_readmit_cycle(self):
+        health = self._health()
+        health.force_eject(0.0, "killed")
+        assert not health.routable(0.4)
+        assert health.routable(0.6)
+        assert health.state == "probation"
+        health.record_success(0.7, 0.01)
+        health.record_success(0.8, 0.01)
+        assert health.state == "healthy"
+        states = [t[2] for t in health.transitions]
+        assert states == ["ejected", "probation", "healthy"]
+
+    def test_probation_failure_re_ejects(self):
+        health = self._health()
+        health.force_eject(0.0, "killed")
+        health.tick(0.6)
+        assert health.state == "probation"
+        health.record_failure(0.7, "fault")
+        assert health.state == "ejected"
+
+    def test_failure_rate_degrades_then_window_recovers(self):
+        health = self._health()
+        health.record_success(0.1, 0.01)
+        health.record_failure(0.2, "fault")
+        assert health.state == "degraded"
+        health.record_success(3.0, 0.01)
+        health.record_success(3.1, 0.01)
+        assert health.state == "healthy"
+
+    def test_observe_degrades_on_queue_depth_and_breaker(self):
+        health = self._health(degrade_queue_depth=4)
+        health.observe(0.1, queue_depth=8)
+        assert health.state == "degraded"
+        other = self._health()
+        other.observe(0.1, breaker_open=True)
+        assert other.state == "degraded"
+
+
+class TestRouter:
+    def test_same_key_same_route(self):
+        assert Router(3).replica_for("tenant-1") == Router(
+            3
+        ).replica_for("tenant-1")
+
+    def test_preference_covers_all_replicas_once(self):
+        order = Router(4).preference("tenant-9")
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_keys_spread_across_replicas(self):
+        router = Router(3)
+        first = {
+            router.replica_for(f"tenant-{i}") for i in range(32)
+        }
+        assert len(first) > 1
+
+
+class TestChaosSchedule:
+    def test_parse_event_specs(self):
+        event = parse_chaos_event("kill:1:0.8")
+        assert (event.action, event.replica, event.at_s) == (
+            "kill",
+            1,
+            0.8,
+        )
+        slow = parse_chaos_event("slow:0:1.5:8.0")
+        assert slow.factor == 8.0
+        with pytest.raises(ValueError):
+            parse_chaos_event("explode:0:1.0")
+
+    def test_standard_schedule_kills_then_recovers(self):
+        schedule = ChaosSchedule.standard(3, 2.0)
+        actions = [e.action for e in schedule.ordered()]
+        assert actions == ["kill", "recover"]
+        assert len(ChaosSchedule.standard(1, 2.0)) == 0
+
+
+class TestFleetVirtual:
+    def test_submit_and_complete(self, rng):
+        fleet, clock = _fleet()
+        request = fleet.submit(
+            rng.random((N_POINTS, 3)), tenant="tenant-1"
+        )
+        _drive(fleet, clock, request)
+        result = request.future.result()
+        assert result.prediction.shape == (N_POINTS,)
+        assert fleet.completed == 1
+
+    def test_kill_mid_flight_retries_on_another_replica(self, rng):
+        fleet, clock = _fleet()
+        request = fleet.submit(
+            rng.random((N_POINTS, 3)),
+            tenant="tenant-1",
+            deadline_s=2.0,
+        )
+        primary = fleet.router.preference("tenant-1")[0]
+        shed = fleet.kill_replica(primary)
+        assert shed == 1
+        _drive(fleet, clock, request)
+        assert request.future.result() is not None
+        assert fleet.retries >= 1
+        assert fleet.completed == 1
+        assert request.tried[0] == primary
+        assert len(request.tried) >= 2  # the retry ran elsewhere
+        events = [e.event for e in fleet.trace]
+        assert "retry" in events
+
+    def test_all_replicas_erroring_exhausts_retries_typed(self, rng):
+        fleet, clock = _fleet(
+            config=FleetConfig(retry=RetryPolicy(max_attempts=2))
+        )
+        for index in range(len(fleet.replicas)):
+            fleet.error_replica(index)
+        request = fleet.submit(
+            rng.random((N_POINTS, 3)), tenant="tenant-1"
+        )
+        _drive(fleet, clock, request)
+        with pytest.raises(RetryExhaustedError) as err:
+            request.future.result()
+        assert err.value.reason == "retry_exhausted"
+        assert isinstance(err.value.__cause__, ReplicaFaultError)
+        assert fleet.failed == 1
+
+    def test_deadline_expiry_is_typed_and_counted(self, rng):
+        fleet, clock = _fleet()
+        request = fleet.submit(
+            rng.random((N_POINTS, 3)),
+            tenant="tenant-1",
+            deadline_s=0.005,
+        )
+        _drive(fleet, clock, request)
+        with pytest.raises(DeadlineExceededError):
+            request.future.result()
+        assert fleet.expired == 1
+
+    def test_no_routable_replica_rejects_at_the_door(self, rng):
+        fleet, clock = _fleet()
+        for index in range(len(fleet.replicas)):
+            fleet.kill_replica(index)
+        with pytest.raises(NoHealthyReplicaError) as err:
+            fleet.submit(rng.random((N_POINTS, 3)))
+        assert err.value.reason == "no_healthy_replica"
+        assert fleet.rejection_reasons["no_healthy_replica"] == 1
+
+    def test_brownout_sheds_low_priority_only(self, rng):
+        fleet, clock = _fleet()
+        fleet.kill_replica(0)
+        fleet.kill_replica(1)
+        assert fleet.brownout_active(clock())
+        with pytest.raises(BrownoutError):
+            fleet.submit(
+                rng.random((N_POINTS, 3)),
+                tenant="tenant-low",
+                priority=0,
+            )
+        request = fleet.submit(
+            rng.random((N_POINTS, 3)), tenant="tenant-high"
+        )
+        _drive(fleet, clock, request)
+        assert request.future.result() is not None
+        assert fleet.rejection_reasons["brownout"] == 1
+
+    def test_hedge_fires_and_cancels_loser(self, rng):
+        fleet, clock = _fleet(
+            config=FleetConfig(
+                hedge=HedgePolicy(min_delay_s=0.03, min_samples=4)
+            )
+        )
+        request = fleet.submit(
+            rng.random((N_POINTS, 3)), tenant="tenant-1"
+        )
+        primary = fleet.router.preference("tenant-1")[0]
+        fleet.stall_replica(primary)
+        _drive(fleet, clock, request)
+        assert request.future.result() is not None
+        assert fleet.hedges == 1
+        assert fleet.hedge_wins == 1
+        assert fleet.hedge_cancelled == 1
+        assert request.winner.endswith(".a2")
+        events = [e.event for e in fleet.trace]
+        assert "hedge" in events and "hedge_cancel" in events
+
+
+def _chaos_run(seed=0):
+    metrics = MetricsRegistry()
+    clock = FixedClock(0.0)
+    fleet = ServerFleet(
+        [_pipeline(seed=0) for _ in range(3)],
+        config=FleetConfig(
+            default_deadline_ms=500.0,
+            retry=RetryPolicy(max_attempts=4),
+        ),
+        serving_config=ServingConfig(
+            max_batch_size=4, max_wait_ms=20.0, workers=1
+        ),
+        clock=clock,
+        metrics=metrics,
+    )
+    schedule = ChaosSchedule.standard(3, 2.0)
+    harness = ChaosHarness(fleet, schedule, metrics=metrics)
+    config = LoadGenConfig(
+        duration_s=2.0, rate=40.0, deadline_ms=500.0, seed=seed
+    )
+    generator = FleetLoadGenerator(
+        fleet, config, clock=clock, chaos=harness
+    )
+    report = generator.run()
+    return report, fleet, harness
+
+
+class TestChaosUnderLoad:
+    def test_kill_one_of_three_loses_nothing(self):
+        report, fleet, harness = _chaos_run()
+        assert len(harness.applied) == 2
+        assert report.lost == 0
+        assert report.submitted > 0
+        # Every admitted request reached a terminal state.
+        assert report.admitted == (
+            report.completed + report.failed + report.expired
+        )
+        # The kill actually disrupted traffic and the fleet recovered.
+        assert report.retries >= 1
+        assert report.completed > 0.9 * report.admitted
+
+    def test_ejected_replica_is_readmitted_after_probation(self):
+        report, fleet, harness = _chaos_run()
+        assert report.replica_states == {
+            "0": "healthy",
+            "1": "healthy",
+            "2": "healthy",
+        }
+        killed = fleet.replicas[1].health
+        states = [t[2] for t in killed.transitions]
+        assert "ejected" in states
+        assert states[-1] == "healthy"
+
+    def test_same_seed_same_schedule_byte_identical(self):
+        report_a, fleet_a, _ = _chaos_run()
+        report_b, fleet_b, _ = _chaos_run()
+        assert json.dumps(
+            report_a.to_dict(), sort_keys=True
+        ) == json.dumps(report_b.to_dict(), sort_keys=True)
+        trace_a = [e.to_dict() for e in fleet_a.trace]
+        trace_b = [e.to_dict() for e in fleet_b.trace]
+        assert json.dumps(trace_a) == json.dumps(trace_b)
+        assert any(e.event == "retry" for e in fleet_a.trace)
+
+    def test_different_seed_changes_the_report(self):
+        report_a, _, _ = _chaos_run(seed=0)
+        report_b, _, _ = _chaos_run(seed=1)
+        assert report_a.to_dict() != report_b.to_dict()
+
+
+class TestFleetThreaded:
+    def test_threaded_smoke_completes_all(self, rng):
+        fleet = ServerFleet(
+            [_pipeline(seed=0) for _ in range(3)],
+            serving_config=ServingConfig(
+                max_batch_size=4, max_wait_ms=5.0, workers=1
+            ),
+        )
+        with fleet:
+            requests = [
+                fleet.submit(
+                    rng.random((N_POINTS, 3)), tenant=f"tenant-{i}"
+                )
+                for i in range(6)
+            ]
+        for request in requests:
+            assert request.future.result(timeout=10.0) is not None
+        assert fleet.completed == 6

@@ -43,6 +43,7 @@ FIXTURES = {
     "OBS-302": ("repro/sim/metric_names.py", 4),
     "ROBUST-401": ("repro/sim/handlers.py", 2),
     "ROBUST-402": ("repro/geometry/contracts.py", 1),
+    "ROBUST-403": ("repro/serving/retry_loops.py", 3),
 }
 
 # Serving-layer extensions of the OBS rules (PR 5): class suffixes
@@ -109,6 +110,13 @@ class TestServingFixtures:
         # held to OBS-301 (only *Pipeline is, repo-wide).
         source = (BAD / "repro/serving/servers.py").read_text()
         findings = lint_source("repro/sim/servers.py", source)
+        assert findings == []
+
+    def test_retry_loop_rule_only_applies_inside_serving(self):
+        # ROBUST-403 is a serving-layer invariant: the same naked
+        # retry loops elsewhere in the tree are not flagged.
+        source = (BAD / "repro/serving/retry_loops.py").read_text()
+        findings = lint_source("repro/sim/retry_loops.py", source)
         assert findings == []
 
     def test_serving_prefix_only_required_inside_serving(self):

@@ -26,6 +26,7 @@ from repro.robustness import (
 )
 from repro.serving import (
     DeadlineExceededError,
+    DrainTimeoutError,
     InferenceServer,
     LoadGenConfig,
     LoadGenerator,
@@ -537,3 +538,80 @@ class TestLoadGenerator:
             json.dumps(report.to_dict())
         )
         assert "loadgen" in report.summary()
+
+    def test_rejections_are_counted_by_reason(self):
+        report = self._run(
+            {"rate": 2000.0, "duration_s": 0.2},
+            max_queue_depth=16,
+            max_wait_ms=200.0,
+        )
+        assert report.rejected > 0
+        assert (
+            report.rejection_reasons["queue_full"] == report.rejected
+        )
+        assert "rejections by reason" in report.summary()
+        assert (
+            report.to_dict()["rejection_reasons"]
+            == report.rejection_reasons
+        )
+
+    def test_expiries_surface_as_deadline_reason(self):
+        report = self._run(
+            {"deadline_ms": 10.0, "duration_s": 0.3},
+            max_batch_size=64,
+            max_wait_ms=500.0,
+        )
+        assert report.expired > 0
+        assert report.rejection_reasons["deadline"] == report.expired
+
+
+class TestQueueRejectionReasons:
+    def test_queue_tallies_typed_rejections(self, rng):
+        queue = RequestQueue(max_depth=1)
+        queue.put(_request(rng, "a"))
+        with pytest.raises(QueueFullError):
+            queue.put(_request(rng, "b"))
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.put(_request(rng, "c"))
+        assert queue.rejected_by_reason == {
+            "queue_full": 1,
+            "closed": 1,
+        }
+
+
+class TestDrainTimeout:
+    def test_stuck_worker_raises_typed_drain_error(self, rng):
+        registry = MetricsRegistry()
+        server = InferenceServer(
+            _pipeline(),
+            ServingConfig(workers=1, max_wait_ms=1.0),
+            metrics=registry,
+        )
+        server.start()
+        release = threading.Event()
+        stuck = threading.Thread(
+            target=release.wait, name="stuck-worker", daemon=True
+        )
+        stuck.start()
+        server._threads.append(stuck)
+        try:
+            with pytest.raises(DrainTimeoutError) as err:
+                server.stop(timeout_s=0.2)
+            assert "stuck-worker" in str(err.value)
+            assert (
+                registry.counter(
+                    "serving_drain_timeouts_total"
+                ).value
+                == 1
+            )
+        finally:
+            release.set()
+
+    def test_clean_stop_does_not_raise(self, rng):
+        server = InferenceServer(
+            _pipeline(), ServingConfig(workers=1, max_wait_ms=1.0)
+        )
+        server.start()
+        server.submit(rng.random((N_POINTS, 3)))
+        server.stop(timeout_s=10.0)
