@@ -30,7 +30,12 @@ Commands:
   ``docs/serving.md``);
 - ``chaos``    — deterministic fault injection: drive load against a
   replica fleet while killing/stalling/slowing replicas on a virtual
-  schedule, and gate p95/goodput against ``BENCH_serving.json``;
+  schedule, gate p95/goodput against ``BENCH_serving.json``, and
+  optionally evaluate an SLO spec (``--slo``) and write the dashboard
+  artifact bundle (``--artifacts-dir``);
+- ``dashboard`` — render the deterministic text dashboard (fleet
+  health, queue depths, SLO budgets, slowest traces) from the
+  artifacts a chaos/loadgen run saved;
 - ``lint``     — project-aware static analysis.
 
 ``profile``, ``compare``, and ``sample`` additionally accept
@@ -88,14 +93,22 @@ def _resolve_workloads(name: str):
 # Telemetry plumbing ---------------------------------------------------------
 
 
-def _telemetry(args) -> Tuple[Tracer, MetricsRegistry]:
+def _telemetry(args, clock=None) -> Tuple[Tracer, MetricsRegistry]:
     """Tracer/registry pair for one CLI invocation.
 
     The tracer is enabled only when the invocation exports somewhere
-    (``--trace-out``), so un-instrumented runs stay on the no-op path.
+    (``--trace-out`` or ``--artifacts-dir``), so un-instrumented runs
+    stay on the no-op path.  Virtual-time commands pass their
+    ``FixedClock`` so span timestamps live on the simulated timeline
+    and exports are byte-identical per seed.
     """
-    wants_trace = bool(getattr(args, "trace_out", None))
-    tracer = Tracer() if wants_trace else NULL_TRACER
+    wants_trace = bool(
+        getattr(args, "trace_out", None)
+        or getattr(args, "artifacts_dir", None)
+    )
+    if not wants_trace:
+        return NULL_TRACER, MetricsRegistry()
+    tracer = Tracer(clock=clock) if clock is not None else Tracer()
     return tracer, MetricsRegistry()
 
 
@@ -738,6 +751,76 @@ def _loadgen_gate(args, report) -> int:
     return 0
 
 
+def _slo_engine(args, registry, clock):
+    """Build the SLO engine when ``--slo SPEC.json`` was given."""
+    if not getattr(args, "slo", None):
+        return None
+    from repro.observability import SloEngine, SloSpec
+
+    return SloEngine(SloSpec.load(args.slo), registry, clock=clock)
+
+
+def _finish_serving_run(
+    args, report, tracer, registry, slo, fleet=None, clock=None
+) -> int:
+    """Shared epilogue for ``loadgen`` / ``chaos``: write the
+    ``--artifacts-dir`` bundle (the files ``repro dashboard --from``
+    reads), print the SLO verdict, and gate on budget exhaustion."""
+    from repro.observability.dashboard import (
+        ARTIFACT_LOADGEN,
+        ARTIFACT_METRICS,
+        ARTIFACT_SLO,
+        ARTIFACT_TRACE,
+    )
+
+    status = 0
+    now = clock() if clock is not None else None
+    if getattr(args, "artifacts_dir", None):
+        os.makedirs(args.artifacts_dir, exist_ok=True)
+        report.save(os.path.join(args.artifacts_dir, ARTIFACT_LOADGEN))
+        registry.export_json(
+            os.path.join(args.artifacts_dir, ARTIFACT_METRICS)
+        )
+        if tracer.enabled:
+            tracer.export_jsonl(
+                os.path.join(args.artifacts_dir, ARTIFACT_TRACE)
+            )
+        if slo is not None:
+            slo.save_report(
+                os.path.join(args.artifacts_dir, ARTIFACT_SLO), now
+            )
+        print(f"wrote dashboard artifacts -> {args.artifacts_dir}")
+    if slo is not None:
+        if getattr(args, "slo_out", None):
+            slo.save_report(args.slo_out, now)
+            print(f"wrote SLO report -> {args.slo_out}")
+        exhausted = slo.exhausted()
+        print(
+            f"slo: {len(slo.spec.objectives)} objective(s), "
+            f"{len(slo.alerts)} alert(s), "
+            f"{len(exhausted)} budget(s) exhausted"
+        )
+        if exhausted:
+            print(
+                "slo gate failed: error budget exhausted for "
+                + ", ".join(sorted(exhausted)),
+                file=sys.stderr,
+            )
+            status = 1
+    if getattr(args, "dashboard", False) and fleet is not None:
+        from repro.observability import collect_live, render_dashboard
+
+        print(
+            render_dashboard(
+                collect_live(
+                    fleet, slo=slo, tracer=tracer, report=report,
+                    now=now,
+                )
+            )
+        )
+    return status
+
+
 def cmd_loadgen(args: argparse.Namespace) -> int:
     """Deterministic virtual-time load run against an in-process server.
 
@@ -752,15 +835,23 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         LoadGenerator,
     )
 
-    tracer, registry = _telemetry(args)
     clock = FixedClock(0.0)
+    tracer, registry = _telemetry(args, clock=clock)
     config = _loadgen_config(args)
+    slo = _slo_engine(args, registry, clock)
+    fleet = None
     if args.replicas > 1:
         fleet = _build_fleet(args, tracer, registry, clock=clock)
         report = FleetLoadGenerator(
-            fleet, config, clock=clock
+            fleet, config, clock=clock, slo=slo
         ).run()
     else:
+        if slo is not None:
+            print(
+                "--slo needs the fleet path (--replicas >= 2)",
+                file=sys.stderr,
+            )
+            return 2
         pipeline = _serving_pipeline(
             args.seed, args.guard, tracer, registry
         )
@@ -777,7 +868,10 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         report.save(args.out)
         print(f"wrote load report -> {args.out}")
     _export_telemetry(args, tracer, registry)
-    return _loadgen_gate(args, report)
+    status = _finish_serving_run(
+        args, report, tracer, registry, slo, fleet=fleet, clock=clock
+    )
+    return status or _loadgen_gate(args, report)
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -800,8 +894,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.replicas < 2:
         print("chaos runs need --replicas >= 2", file=sys.stderr)
         return 2
-    tracer, registry = _telemetry(args)
     clock = FixedClock(0.0)
+    tracer, registry = _telemetry(args, clock=clock)
+    slo = _slo_engine(args, registry, clock)
     fleet = _build_fleet(args, tracer, registry, clock=clock)
     if args.event:
         schedule = ChaosSchedule.from_specs(args.event)
@@ -811,7 +906,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         )
     harness = ChaosHarness(fleet, schedule, metrics=registry)
     report = FleetLoadGenerator(
-        fleet, _loadgen_config(args), clock=clock, chaos=harness
+        fleet, _loadgen_config(args), clock=clock, chaos=harness,
+        slo=slo,
     ).run()
     print(report.summary())
     for event in harness.applied:
@@ -820,6 +916,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         report.save(args.out)
         print(f"wrote load report -> {args.out}")
     _export_telemetry(args, tracer, registry)
+    if (args.bench_out or args.baseline) and not report.latency_ms:
+        # An empty latency distribution means *nothing completed* —
+        # gating p95=0 against a baseline would pass vacuously.
+        print(
+            "chaos gate failed: no completed requests, latency "
+            "percentiles unavailable (refusing to bench/gate p95=0)",
+            file=sys.stderr,
+        )
+        return 1
     bench = {
         "bench": "serving_chaos",
         "replicas": args.replicas,
@@ -863,7 +968,33 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             status = 1
-    return status
+    return (
+        _finish_serving_run(
+            args, report, tracer, registry, slo, fleet=fleet,
+            clock=clock,
+        )
+        or status
+    )
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render the deterministic text dashboard from saved artifacts.
+
+    Reads the conventional files a ``repro chaos --artifacts-dir``
+    (or ``loadgen``) run writes — ``metrics.json``, ``trace.jsonl``,
+    ``slo_report.json``, ``loadgen.json`` — and prints one snapshot:
+    fleet counters, replica queues, SLO error budgets, and the top-K
+    slowest request traces.  Same artifacts, same bytes out.
+    """
+    from repro.observability import load_artifacts, render_dashboard
+
+    try:
+        data = load_artifacts(args.artifacts)
+    except FileNotFoundError as err:
+        print(f"dashboard: {err}", file=sys.stderr)
+        return 2
+    print(render_dashboard(data, top_k=args.top))
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -1182,6 +1313,26 @@ def build_parser() -> argparse.ArgumentParser:
             help="exit 1 on any failed or lost request (admission "
             "rejections and deadline expiries do not count)",
         )
+        cmd.add_argument(
+            "--slo", default=None, metavar="SPEC.json",
+            help="evaluate this SLO spec during the run (fleet path "
+            "only); exit 1 if any error budget is exhausted",
+        )
+        cmd.add_argument(
+            "--slo-out", default=None, metavar="FILE",
+            help="write the JSON SLO report (burn rates, budgets, "
+            "alerts)",
+        )
+        cmd.add_argument(
+            "--artifacts-dir", default=None, metavar="DIR",
+            help="write the dashboard artifact bundle (metrics.json, "
+            "trace.jsonl, slo_report.json, loadgen.json) for "
+            "`repro dashboard --from DIR`",
+        )
+        cmd.add_argument(
+            "--dashboard", action="store_true",
+            help="print the live text dashboard after the run",
+        )
         _add_serving_flags(cmd)
 
     loadgen_cmd = sub.add_parser(
@@ -1219,6 +1370,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_loadgen_flags(chaos_cmd)
     chaos_cmd.set_defaults(func=cmd_chaos)
     chaos_cmd.set_defaults(replicas=3)
+
+    dashboard_cmd = sub.add_parser(
+        "dashboard",
+        help="render the deterministic text dashboard from saved "
+        "run artifacts (see docs/observability.md)",
+    )
+    dashboard_cmd.add_argument(
+        "--from", dest="artifacts", required=True, metavar="DIR",
+        help="artifact directory written by `repro chaos "
+        "--artifacts-dir` (metrics.json / trace.jsonl / "
+        "slo_report.json / loadgen.json)",
+    )
+    dashboard_cmd.add_argument(
+        "--top", type=int, default=5,
+        help="how many slowest traces to list",
+    )
+    dashboard_cmd.set_defaults(func=cmd_dashboard)
 
     lint_cmd = sub.add_parser(
         "lint",

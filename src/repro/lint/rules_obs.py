@@ -6,6 +6,11 @@ method that does — and every metric name must follow the
 ``docs/observability.md`` convention (snake_case; counters end in
 ``_total``; histograms carry a unit suffix) so dashboards and the
 Prometheus exposition stay consistent.
+
+PR 7 adds OBS-303: request-terminal events in ``repro.serving``
+(resolving a request future, appending a :class:`RetryEvent`) must
+stay attached to the end-to-end trace context, so the stitched
+cross-replica trace never loses a terminal state.
 """
 
 from __future__ import annotations
@@ -148,6 +153,90 @@ class PipelineInstrumentationRule(Rule):
                     "records no metrics (and delegates to no method "
                     "that does)",
                 )
+
+
+def _has_trace_evidence(fn: ast.FunctionDef) -> bool:
+    """Does ``fn`` touch the request trace context anywhere?
+
+    Evidence is any identifier that names the propagation machinery:
+    a ``*trace*`` helper (``emit_request_trace``, ``_trace_of``,
+    ``_close_request_trace``, ``tracer``), a ``*span*`` call, or a
+    ``ctx`` reference (``request.ctx``, ``attempt_ctx``).
+    """
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and (
+            "trace" in node.attr
+            or "span" in node.attr
+            or node.attr == "ctx"
+        ):
+            return True
+        if isinstance(node, ast.Name) and (
+            "trace" in node.id
+            or "span" in node.id
+            or "ctx" in node.id
+        ):
+            return True
+    return False
+
+
+@register
+class TraceContextRule(Rule):
+    """OBS-303: serving terminal events that drop the trace context."""
+
+    rule_id = "OBS-303"
+    severity = "error"
+    title = "serving terminal event drops the trace context"
+    rationale = (
+        "PR-7 invariant: every request-terminal event in "
+        "repro.serving stays attributable to its end-to-end trace. "
+        "A RetryEvent must carry trace_id=..., and a function that "
+        "resolves a request future (.future.set_result / "
+        ".future.set_exception) must reference the request's trace "
+        "context (a *trace*/*span* helper or a ctx attribute) so the "
+        "stitched cross-replica trace has no silent terminal states."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith("repro.serving"):
+            return
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(
+                fn, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            evidence = _has_trace_evidence(fn)
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "RetryEvent"
+                    and not any(
+                        kw.arg == "trace_id" for kw in node.keywords
+                    )
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"RetryEvent in {fn.name}() carries no "
+                        "trace_id=; retry timelines cannot be "
+                        "stitched to their request trace",
+                    )
+                elif (
+                    not evidence
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr
+                    in ("set_result", "set_exception")
+                    and isinstance(node.func.value, ast.Attribute)
+                    and node.func.value.attr == "future"
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{fn.name}() resolves a request future "
+                        "without touching the trace context; the "
+                        "request terminates outside its trace",
+                    )
 
 
 @register

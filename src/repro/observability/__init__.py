@@ -12,6 +12,19 @@ Three cooperating pieces, all zero-dependency and thread-safe:
   breakdown/energy reports into one serializable run summary
   (:mod:`repro.observability.report`).
 
+PR 7 adds end-to-end request observability on top:
+
+- :class:`TraceContext` — immutable propagation token minted at the
+  serving front door and threaded through batching, retries, and
+  hedges, so one request's spans stitch into a single cross-replica
+  trace (:mod:`repro.observability.context`);
+- :class:`SloEngine` — declarative latency/error/goodput objectives
+  evaluated over sliding metric windows with multi-window error-budget
+  burn-rate alerts (:mod:`repro.observability.slo`);
+- :func:`render_dashboard` — deterministic text snapshot of fleet
+  health, queues, SLO budgets, and slowest traces, also exposed as
+  ``repro dashboard`` (:mod:`repro.observability.dashboard`).
+
 The wall clock is injectable: :mod:`repro.observability.clock` holds
 the one sanctioned ``time.time()`` call (:func:`wall_clock`) plus a
 deterministic :class:`FixedClock`; everything that stamps wall time
@@ -27,20 +40,38 @@ when telemetry is off.
 """
 
 from repro.observability.clock import Clock, FixedClock, wall_clock
+from repro.observability.context import TraceContext, mint_trace_id
+from repro.observability.dashboard import (
+    DashboardData,
+    collect_live,
+    load_artifacts,
+    render_dashboard,
+    slowest_traces,
+)
 from repro.observability.metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
     global_registry,
     parse_prometheus,
+    parse_prometheus_series,
     reset_global_registry,
+    unescape_label_value,
 )
 from repro.observability.report import (
     RunReport,
     breakdown_to_dict,
     energy_to_dict,
+)
+from repro.observability.slo import (
+    SloAlert,
+    SloEngine,
+    SloObjective,
+    SloSpec,
+    SloStatus,
 )
 from repro.observability.tracing import (
     NULL_SPAN,
@@ -48,12 +79,15 @@ from repro.observability.tracing import (
     Span,
     Tracer,
     emit_stage_spans,
+    find_orphans,
+    spans_by_trace,
 )
 
 __all__ = [
     "Clock",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DashboardData",
     "FixedClock",
     "Gauge",
     "Histogram",
@@ -61,13 +95,29 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
     "RunReport",
+    "SloAlert",
+    "SloEngine",
+    "SloObjective",
+    "SloSpec",
+    "SloStatus",
     "Span",
+    "TraceContext",
     "Tracer",
     "breakdown_to_dict",
+    "collect_live",
     "emit_stage_spans",
     "energy_to_dict",
+    "escape_label_value",
+    "find_orphans",
     "global_registry",
+    "load_artifacts",
+    "mint_trace_id",
     "parse_prometheus",
+    "parse_prometheus_series",
+    "render_dashboard",
     "reset_global_registry",
+    "slowest_traces",
+    "spans_by_trace",
+    "unescape_label_value",
     "wall_clock",
 ]

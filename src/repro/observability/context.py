@@ -1,0 +1,102 @@
+"""Trace-context propagation for cross-thread, cross-replica requests.
+
+A :class:`TraceContext` is the W3C-trace-context analogue for this
+stack: an immutable ``(trace_id, span_id, baggage)`` triple minted at
+the serving front door (:meth:`~repro.serving.server.InferenceServer.
+submit` / :meth:`~repro.serving.fleet.ServerFleet.submit`) and carried
+on every :class:`~repro.serving.queue.ServingRequest` through the
+micro-batcher, worker threads, retries, and hedged attempts.  Spans
+opened *with* a context parent under it instead of the thread-local
+stack, so one request's spans stitch into a single trace even when
+they run on different replicas' worker threads.
+
+``trace_id`` is derived from the request id, not from randomness, so a
+virtual-time run at a fixed seed exports byte-identical traces
+(see ``docs/observability.md``).
+
+Baggage is a small immutable string map (tenant, request_id, attempt)
+that rides along for span attribution; it is deliberately tiny — the
+context is copied per attempt on the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+BaggageItems = Tuple[Tuple[str, str], ...]
+
+
+def mint_trace_id(request_id: str) -> str:
+    """Deterministic trace id for a request id (``trace-<rid>``)."""
+    return f"trace-{request_id}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable propagation token for one request's trace.
+
+    Attributes:
+        trace_id: the request's trace identifier, shared by every span
+            the request touches on any replica.
+        span_id: the id of the span new children should parent to
+            (the request's root span at mint time; an attempt span
+            after :meth:`child`).
+        baggage: sorted ``(key, value)`` string pairs carried with the
+            context (``tenant``, ``request_id``, ``attempt``, ...).
+        is_root: ``True`` only on the context returned by
+            :meth:`mint`.  Whoever minted the context owns the
+            request's root span and emits it at the terminal state;
+            :meth:`child` contexts never do, so a fleet-minted trace
+            is closed by the fleet even when the last attempt resolves
+            inside a replica's server.
+    """
+
+    trace_id: str
+    span_id: int
+    baggage: BaggageItems = field(default=())
+    is_root: bool = False
+
+    @classmethod
+    def mint(
+        cls, request_id: str, span_id: int, **baggage: str
+    ) -> "TraceContext":
+        """New root context for ``request_id``.
+
+        ``span_id`` is the pre-allocated id of the request's root span
+        (emitted at the request's terminal state), so children created
+        before the root span is written still parent correctly.
+        """
+        items = dict(baggage)
+        items.setdefault("request_id", request_id)
+        return cls(
+            trace_id=mint_trace_id(request_id),
+            span_id=span_id,
+            baggage=tuple(sorted(items.items())),
+            is_root=True,
+        )
+
+    def child(self, span_id: int) -> "TraceContext":
+        """Same trace, re-anchored on ``span_id`` (an attempt span)."""
+        return replace(self, span_id=span_id, is_root=False)
+
+    def with_baggage(self, **items: str) -> "TraceContext":
+        """Copy with ``items`` merged into the baggage."""
+        merged: Dict[str, str] = dict(self.baggage)
+        merged.update({k: str(v) for k, v in items.items()})
+        return replace(self, baggage=tuple(sorted(merged.items())))
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Baggage lookup."""
+        for k, v in self.baggage:
+            if k == key:
+                return v
+        return default
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "baggage": dict(self.baggage),
+            "is_root": self.is_root,
+        }

@@ -18,6 +18,7 @@ process-wide default registry is available through
 from __future__ import annotations
 
 import json
+import re
 import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional, Tuple
@@ -35,8 +36,41 @@ def _label_key(labels: Dict[str, str]) -> LabelItems:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def escape_label_value(value: str) -> str:
+    """Prometheus text-exposition escaping for a label value:
+    backslash, double quote, and newline (in that order, so escapes
+    are not themselves re-escaped)."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value`."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:  # unknown escape: keep it verbatim
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def _format_labels(items: LabelItems, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in items]
+    parts = [f'{k}="{escape_label_value(v)}"' for k, v in items]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -90,6 +124,11 @@ class Histogram:
     ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches
     the tail.  ``counts[i]`` is *non-cumulative* internally and
     cumulated at export time.
+
+    Each bucket keeps one **exemplar** — the ``(trace_id, value)`` of
+    its largest observation passed with a trace id — so a bad tail
+    bucket links directly to the trace that produced it
+    (OpenMetrics-style; see ``docs/observability.md``).
     """
 
     kind = "histogram"
@@ -106,13 +145,20 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)
         self.sum = 0.0
         self.count = 0
+        self.exemplars: Dict[int, Tuple[str, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self, value: float, trace_id: Optional[str] = None
+    ) -> None:
         index = bisect_left(self.buckets, value)
         with self._lock:
             self.counts[index] += 1
             self.sum += value
             self.count += 1
+            if trace_id:
+                held = self.exemplars.get(index)
+                if held is None or value > held[1]:
+                    self.exemplars[index] = (trace_id, value)
 
     def cumulative_counts(self) -> List[int]:
         total = 0
@@ -123,8 +169,13 @@ class Histogram:
         return out
 
     def quantile(self, q: float) -> float:
-        """Bucket-interpolated quantile estimate (0 with no samples).
+        """Bucket-interpolated quantile estimate (``NaN`` with no
+        samples).
 
+        An empty histogram has no quantiles: returning a number here
+        (historically ``0.0``) let idle runs sail through latency
+        gates, so absence is now explicit and gates must check
+        ``math.isnan`` (the chaos/bench CLIs fail loudly instead).
         The tail (+Inf) bucket reports its lower bound — the estimate
         saturates at the largest finite bucket boundary.
         """
@@ -132,7 +183,7 @@ class Histogram:
             raise ValueError("q must be in [0, 1]")
         with self._lock:
             if self.count == 0:
-                return 0.0
+                return float("nan")
             target = q * self.count
             cumulative = 0
             for i, c in enumerate(self.counts):
@@ -149,6 +200,33 @@ class Histogram:
                     return lower + (upper - lower) * frac
                 cumulative += c
             return self.buckets[-1]
+
+    def exemplar_for_quantile(
+        self, q: float
+    ) -> Optional[Tuple[str, float]]:
+        """The ``(trace_id, value)`` exemplar nearest the ``q``-th
+        quantile's bucket, preferring higher buckets (the slow tail is
+        what an exemplar is for); ``None`` when no exemplar exists.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            if not self.exemplars:
+                return None
+            if self.count == 0:
+                index = 0
+            else:
+                target = q * self.count
+                cumulative = 0
+                index = len(self.counts) - 1
+                for i, c in enumerate(self.counts):
+                    if cumulative + c >= target:
+                        index = i
+                        break
+                    cumulative += c
+            above = [i for i in self.exemplars if i >= index]
+            chosen = min(above) if above else max(self.exemplars)
+            return self.exemplars[chosen]
 
     @property
     def value(self) -> float:
@@ -200,6 +278,12 @@ class MetricsRegistry:
         with self._lock:
             return len(self._metrics)
 
+    def items(self) -> List[Tuple[Tuple[str, LabelItems], object]]:
+        """Stable-ordered snapshot of ``((name, labels), metric)``
+        pairs (the SLO engine's raw-series reader)."""
+        with self._lock:
+            return sorted(self._metrics.items())
+
     # Exporters -------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
@@ -222,6 +306,13 @@ class MetricsRegistry:
                 entry["counts"] = list(metric.counts)
                 entry["sum"] = metric.sum
                 entry["count"] = metric.count
+                if metric.exemplars:
+                    entry["exemplars"] = {
+                        str(index): [trace_id, value]
+                        for index, (trace_id, value) in sorted(
+                            metric.exemplars.items()
+                        )
+                    }
             else:
                 entry["value"] = metric.value
             out.append(entry)
@@ -249,6 +340,12 @@ class MetricsRegistry:
                 hist.counts = list(entry["counts"])
                 hist.sum = entry["sum"]
                 hist.count = entry["count"]
+                hist.exemplars = {
+                    int(index): (str(pair[0]), float(pair[1]))
+                    for index, pair in entry.get(
+                        "exemplars", {}
+                    ).items()
+                }
             else:
                 raise ValueError(f"unknown metric kind {kind!r}")
         return registry
@@ -288,7 +385,10 @@ class MetricsRegistry:
 def parse_prometheus(text: str) -> Dict[str, float]:
     """Parse :meth:`MetricsRegistry.to_prometheus` output back into a
     flat ``{"name{labels}": value}`` map (for round-trip tests and
-    quick assertions; not a general Prometheus parser)."""
+    quick assertions; not a general Prometheus parser).  Label values
+    keep their exposition escaping (``\\n`` stays two characters);
+    :func:`parse_prometheus_series` decodes them.
+    """
     samples: Dict[str, float] = {}
     for line in text.splitlines():
         line = line.strip()
@@ -297,6 +397,37 @@ def parse_prometheus(text: str) -> Dict[str, float]:
         key, _, raw = line.rpartition(" ")
         samples[key] = float(raw)
     return samples
+
+
+#: One label assignment inside ``{...}``: key="value with escapes".
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_series(
+    text: str,
+) -> Dict[Tuple[str, LabelItems], float]:
+    """Fully decoded parse of :meth:`MetricsRegistry.to_prometheus`
+    output: ``{(name, ((label, value), ...)): sample}`` with label
+    values unescaped, so series written with ``\\``, ``"``, or
+    newlines in a label round-trip to their original strings.
+    """
+    series: Dict[Tuple[str, LabelItems], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, raw = line.rpartition(" ")
+        name, brace, labels_part = key.partition("{")
+        items: LabelItems = ()
+        if brace:
+            if not labels_part.endswith("}"):
+                raise ValueError(f"malformed sample line: {line!r}")
+            items = tuple(
+                (match.group(1), unescape_label_value(match.group(2)))
+                for match in _LABEL_RE.finditer(labels_part[:-1])
+            )
+        series[(name, items)] = float(raw)
+    return series
 
 
 _GLOBAL = MetricsRegistry()

@@ -24,6 +24,19 @@ pipeline performs no tracer-side allocation per batch
 
 The tracer is thread-safe: the open-span stack is thread-local and the
 finished-span list is lock-protected.
+
+**Trace stitching.**  Spans optionally carry a ``trace_id`` plus
+cross-trace ``links``.  A span opened with an explicit
+:class:`~repro.observability.context.TraceContext` parents under the
+context's span id instead of the thread-local stack, which is how one
+serving request's spans stay stitched across worker threads and
+replicas; :meth:`Tracer.emit_span` writes a span with explicit
+timing/parentage (the serving layer uses it to project per-request
+``queue -> batch -> kernel-stage`` trees at completion time).  A
+:class:`Tracer` built with an injected ``clock`` stamps spans from
+that clock, so virtual-time runs export byte-identical traces per
+seed.  :func:`find_orphans` checks the stitching invariant: no
+exported span may reference a parent id that was never written.
 """
 
 from __future__ import annotations
@@ -31,7 +44,9 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.observability.context import TraceContext
 
 
 class Span:
@@ -49,12 +64,17 @@ class Span:
         attrs: op/stage attributes (``set``).
         simulated: True when the span carries cost-model time, not
           wall-clock time.
+        trace_id: request trace this span belongs to (``""`` for
+          process-local spans outside any request trace).
+        links: cross-trace references as ``(trace_id, span_id)``
+          pairs — a batch dispatch span links every coalesced
+          request's context without reparenting under any of them.
     """
 
     __slots__ = (
         "name", "category", "span_id", "parent_id", "thread",
         "start_s", "duration_s", "cost_s", "attrs", "simulated",
-        "_tracer",
+        "trace_id", "links", "_tracer",
     )
 
     def __init__(
@@ -77,6 +97,8 @@ class Span:
         self.cost_s = 0.0
         self.attrs: Dict[str, object] = {}
         self.simulated = False
+        self.trace_id = ""
+        self.links: Optional[List[Tuple[str, int]]] = None
 
     def set(self, key: str, value: object) -> None:
         """Attach one attribute to the span."""
@@ -86,24 +108,28 @@ class Span:
         """Accumulate simulated cost-model seconds onto the span."""
         self.cost_s += seconds
 
+    def add_link(self, trace_id: str, span_id: int) -> None:
+        """Reference a span in another trace without reparenting."""
+        if self.links is None:
+            self.links = []
+        self.links.append((trace_id, span_id))
+
     # Context-manager protocol (wall-clock spans only).
 
     def __enter__(self) -> "Span":
-        self.start_s = time.perf_counter() - self._tracer._epoch
+        self.start_s = self._tracer._now()
         self._tracer._push(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.duration_s = (
-            time.perf_counter() - self._tracer._epoch - self.start_s
-        )
+        self.duration_s = self._tracer._now() - self.start_s
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
         self._tracer._pop(self)
 
     def to_dict(self) -> Dict[str, object]:
         """JSONL record of the span."""
-        return {
+        record: Dict[str, object] = {
             "name": self.name,
             "cat": self.category,
             "id": self.span_id,
@@ -115,12 +141,26 @@ class Span:
             "simulated": self.simulated,
             "attrs": self.attrs,
         }
+        if self.trace_id:
+            record["trace_id"] = self.trace_id
+        if self.links:
+            record["links"] = [list(link) for link in self.links]
+        return record
 
     def to_chrome_event(self) -> Dict[str, object]:
         """Chrome ``trace_event`` "complete" (``ph: X``) record."""
         args = dict(self.attrs)
         if self.cost_s:
             args["cost_s"] = self.cost_s
+        if self.trace_id:
+            args["trace_id"] = self.trace_id
+            args["span_id"] = self.span_id
+            if self.parent_id is not None:
+                args["parent_id"] = self.parent_id
+        if self.links:
+            args["links"] = [
+                {"trace_id": t, "span_id": s} for t, s in self.links
+            ]
         return {
             "name": self.name,
             "cat": self.category,
@@ -138,6 +178,9 @@ class _NullSpan:
 
     __slots__ = ()
 
+    #: Disabled spans have no identity; 0 is never a real span id.
+    span_id = 0
+
     def __enter__(self) -> "_NullSpan":
         return self
 
@@ -148,6 +191,9 @@ class _NullSpan:
         pass
 
     def add_cost(self, seconds: float) -> None:
+        pass
+
+    def add_link(self, trace_id: str, span_id: int) -> None:
         pass
 
 
@@ -162,16 +208,41 @@ class Tracer:
         enabled: when False, :meth:`span` returns the shared
             :data:`NULL_SPAN` and :meth:`emit` does nothing — the
             instrumented code paths pay only an attribute check.
+        clock: optional time source spans are stamped from.  Defaults
+            to ``time.perf_counter``; pass the serving stack's
+            injectable clock (a
+            :class:`~repro.observability.clock.FixedClock` in
+            virtual-time runs) so span timestamps share the serving
+            timeline and exports are byte-identical per seed.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         self.enabled = enabled
-        self._epoch = time.perf_counter()
+        self._clock = clock
+        self._epoch = (
+            time.perf_counter() if clock is None else clock()
+        )
         self._lock = threading.Lock()
         self._local = threading.local()
         self._finished: List[Span] = []
         self._next_id = 1
         self._sim_cursor = 0.0
+
+    def _now(self) -> float:
+        """Seconds since the tracer's epoch on its time source."""
+        if self._clock is None:
+            return time.perf_counter() - self._epoch
+        return self._clock() - self._epoch
+
+    def rel(self, instant: float) -> float:
+        """Map an absolute reading of the tracer's clock to a span
+        offset.  Only meaningful for instants read from the same clock
+        the tracer was built with."""
+        return instant - self._epoch
 
     # Span bookkeeping ------------------------------------------------
 
@@ -191,18 +262,55 @@ class Tracer:
         with self._lock:
             self._finished.append(span)
 
-    def span(self, name: str, category: str = "run"):
-        """Open a wall-clock span (use as a context manager)."""
-        if not self.enabled:
-            return NULL_SPAN
-        stack = self._stack()
-        parent = stack[-1].span_id if stack else None
+    def next_span_id(self) -> int:
+        """Reserve one span id (for roots emitted at terminal time)."""
         with self._lock:
             span_id = self._next_id
             self._next_id += 1
-        return Span(
-            self, name, category, span_id, parent,
+        return span_id
+
+    def span(
+        self,
+        name: str,
+        category: str = "run",
+        context: Optional[TraceContext] = None,
+    ):
+        """Open a wall-clock span (use as a context manager).
+
+        With an explicit ``context`` the span parents under the
+        context's span id and joins its trace instead of nesting under
+        the thread-local stack — this is how a request's spans stay
+        stitched across worker threads.  Without one, a span nested
+        inside a traced parent inherits that parent's ``trace_id``.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        stack = self._stack()
+        if context is not None:
+            parent: Optional[int] = context.span_id
+            trace_id = context.trace_id
+        elif stack:
+            parent = stack[-1].span_id
+            trace_id = stack[-1].trace_id
+        else:
+            parent, trace_id = None, ""
+        span = Span(
+            self, name, category, self.next_span_id(), parent,
             threading.current_thread().name,
+        )
+        span.trace_id = trace_id
+        return span
+
+    def mint_context(
+        self, request_id: str, **baggage: str
+    ) -> Optional[TraceContext]:
+        """Root :class:`TraceContext` for a request, or ``None`` when
+        tracing is disabled (callers propagate the ``None`` and skip
+        every projection — the zero-allocation invariant)."""
+        if not self.enabled:
+            return None
+        return TraceContext.mint(
+            request_id, self.next_span_id(), **baggage
         )
 
     def emit(
@@ -238,6 +346,54 @@ class Tracer:
                 span.attrs.update(attrs)
             self._finished.append(span)
         return start_s
+
+    def emit_span(
+        self,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        category: str = "request",
+        trace_id: str = "",
+        span_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        thread: str = "simulated",
+        attrs: Optional[Dict[str, object]] = None,
+        links: Optional[List[Tuple[str, int]]] = None,
+        simulated: bool = True,
+    ) -> int:
+        """Append a span with explicit timing and parentage; returns
+        its span id (0 when tracing is disabled).
+
+        The serving layer's projection emitter: request root / queue /
+        batch / kernel-stage spans are written at completion time from
+        clock instants the serving stack already recorded, rather than
+        wrapping every hand-off in a context manager.  ``span_id``
+        lets a pre-reserved id (:meth:`next_span_id`, held by a
+        :class:`~repro.observability.context.TraceContext`) be
+        written late, after its children already referenced it.
+        """
+        if not self.enabled:
+            return 0
+        if span_id is None:
+            span_id = self.next_span_id()
+        span = Span(
+            self, name, category, span_id, parent_id, thread
+        )
+        span.start_s = start_s
+        span.duration_s = max(0.0, duration_s)
+        span.simulated = simulated
+        if simulated:
+            span.cost_s = span.duration_s
+        span.trace_id = trace_id
+        if attrs:
+            span.attrs.update(attrs)
+        if links:
+            span.links = [
+                (str(t), int(s)) for t, s in links
+            ]
+        with self._lock:
+            self._finished.append(span)
+        return span_id
 
     def finished(self) -> Tuple[Span, ...]:
         """Snapshot of the completed spans, in completion order."""
@@ -276,6 +432,45 @@ class Tracer:
 
 #: Shared disabled tracer: the default on every instrumented hot path.
 NULL_TRACER = Tracer(enabled=False)
+
+
+def find_orphans(
+    records: Iterable[Mapping[str, object]],
+) -> List[Mapping[str, object]]:
+    """Span records whose ``parent`` id was never exported.
+
+    Takes span dicts (:meth:`Span.to_dict` output or parsed JSONL
+    lines) and returns the ones referencing a missing parent — the
+    stitching invariant the serving trace tests and the dashboard
+    check.  An empty return means every parent edge resolves.
+    """
+    rows = list(records)
+    known = {row.get("id") for row in rows}
+    return [
+        row
+        for row in rows
+        if row.get("parent") is not None
+        and row.get("parent") not in known
+    ]
+
+
+def spans_by_trace(
+    records: Iterable[Mapping[str, object]],
+) -> Dict[str, List[Mapping[str, object]]]:
+    """Group span records by ``trace_id`` (untraced spans are
+    omitted), each group sorted by start offset then id — the shape
+    the dashboard's slowest-trace table consumes."""
+    groups: Dict[str, List[Mapping[str, object]]] = {}
+    for row in records:
+        trace_id = row.get("trace_id")
+        if not trace_id:
+            continue
+        groups.setdefault(str(trace_id), []).append(row)
+    for rows in groups.values():
+        rows.sort(
+            key=lambda r: (float(r.get("start_s", 0.0)), int(r.get("id", 0)))
+        )
+    return groups
 
 
 def emit_stage_spans(tracer: Tracer, breakdown) -> None:

@@ -36,10 +36,12 @@ import numpy as np
 
 from repro.observability.clock import Clock, wall_clock
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import NULL_TRACER, Tracer
 from repro.serving.queue import (
     DeadlineExceededError,
     RequestQueue,
     ServingRequest,
+    emit_request_trace,
 )
 
 #: Histogram buckets for dispatched batch sizes (clouds per batch).
@@ -87,6 +89,10 @@ class MicroBatcher:
             ``serving_batches_total`` counters (labelled by trigger),
             a ``serving_batch_size_clouds`` histogram, and
             ``serving_expired_total`` cancellations.
+        tracer: optional tracer; pre-dispatch expiries project a
+            ``request.expired`` span into the request's trace so a
+            deadline miss is visible in the same timeline as the
+            batches that did dispatch.
     """
 
     def __init__(
@@ -96,6 +102,7 @@ class MicroBatcher:
         max_wait_s: float = 0.05,
         clock: Clock = wall_clock,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
@@ -106,6 +113,7 @@ class MicroBatcher:
         self.max_wait_s = float(max_wait_s)
         self.clock = clock
         self.metrics = metrics
+        self.tracer = tracer
         self.batches_formed = 0
         self.requests_expired = 0
         self._buckets: Dict[int, List[ServingRequest]] = {}
@@ -127,6 +135,9 @@ class MicroBatcher:
         self.queue.release(1)
         if self.metrics is not None:
             self.metrics.counter("serving_expired_total").inc()
+        emit_request_trace(
+            self.tracer, request, now, "expired", detail="pre-dispatch"
+        )
         request.future.set_exception(
             DeadlineExceededError(
                 f"request {request.request_id!r} expired "

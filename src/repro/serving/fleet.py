@@ -53,6 +53,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.observability.clock import Clock, wall_clock
+from repro.observability.context import TraceContext
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import NULL_TRACER, Tracer
 from repro.serving.chaos import ChaosGate, ReplicaFaultError
@@ -64,6 +65,7 @@ from repro.serving.queue import (
     AdmissionError,
     DeadlineExceededError,
     ServingRequest,
+    emit_request_trace,
 )
 from repro.serving.retry import (
     HedgePolicy,
@@ -204,6 +206,10 @@ class FleetRequest:
         hedges: hedged dispatches issued (at most one).
         inflight: attempt ids not yet resolved.
         winner: attempt id that resolved the future, if successful.
+        ctx: root trace context minted at fleet admission; every
+            attempt's spans — on whichever replica they land — join
+            ``ctx.trace_id``, and the fleet emits the root span when
+            the request reaches its terminal state.
     """
 
     request_id: str
@@ -218,6 +224,7 @@ class FleetRequest:
     hedges: int = 0
     inflight: Set[str] = field(default_factory=set)
     winner: Optional[str] = None
+    ctx: Optional[TraceContext] = None
 
 
 @dataclass
@@ -231,6 +238,7 @@ class _Attempt:
     serving_request: ServingRequest
     hedge: bool = False
     cancelled: bool = False
+    ctx: Optional[TraceContext] = None
 
 
 @dataclass
@@ -372,10 +380,13 @@ class ServerFleet:
             )
             span.set("request_id", rid)
             span.set("tenant", str(tenant))
+            ctx = self.tracer.mint_context(rid, tenant=str(tenant))
+            if ctx is not None:
+                span.set("trace_id", ctx.trace_id)
             if priority < self.config.brownout_min_priority and (
                 self.brownout_active(now)
             ):
-                self._reject(now, rid, "brownout")
+                self._reject(now, rid, "brownout", ctx=ctx)
                 raise BrownoutError(
                     f"request {rid!r} shed: fleet in brownout "
                     f"({self.healthy_count(now)}/"
@@ -392,18 +403,21 @@ class ServerFleet:
                 deadline_s=(
                     None if deadline_s is None else now + deadline_s
                 ),
+                ctx=ctx,
             )
             index, refusal = self._dispatch_attempt(
                 request, now, hedge=False, exclude=set()
             )
             if index is None:
                 if refusal is None:
-                    self._reject(now, rid, "no_healthy_replica")
+                    self._reject(
+                        now, rid, "no_healthy_replica", ctx=ctx
+                    )
                     raise NoHealthyReplicaError(
                         f"request {rid!r} rejected: no routable "
                         "replica in the fleet"
                     )
-                self._reject(now, rid, refusal.reason)
+                self._reject(now, rid, refusal.reason, ctx=ctx)
                 raise refusal
             self.accepted += 1
             self._requests[rid] = request
@@ -414,7 +428,13 @@ class ServerFleet:
             self._sequence += 1
             return f"f{self._sequence:06d}"
 
-    def _reject(self, now: float, rid: str, reason: str) -> None:
+    def _reject(
+        self,
+        now: float,
+        rid: str,
+        reason: str,
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
         self.submit_rejected += 1
         self._count_reason(reason)
         if self.metrics is not None:
@@ -422,8 +442,32 @@ class ServerFleet:
                 "serving_fleet_rejected_total", reason=reason
             ).inc()
         self.trace.append(
-            RetryEvent(now, rid, 0, -1, "rejected", reason)
+            RetryEvent(
+                now,
+                rid,
+                0,
+                -1,
+                "rejected",
+                reason,
+                trace_id=ctx.trace_id if ctx is not None else "",
+            )
         )
+        if ctx is not None:
+            # Shed-at-the-door requests still close their trace: a
+            # zero-length root span records the rejection.
+            self.tracer.emit_span(
+                "request",
+                start_s=self.tracer.rel(now),
+                duration_s=0.0,
+                trace_id=ctx.trace_id,
+                span_id=ctx.span_id,
+                thread="requests",
+                attrs={
+                    "request_id": rid,
+                    "outcome": "rejected",
+                    "reason": reason,
+                },
+            )
 
     def _count_reason(self, reason: str) -> None:
         self.rejection_reasons[reason] = (
@@ -478,11 +522,21 @@ class ServerFleet:
             )
             attempt_number = request.attempts + 1
             attempt_id = f"{request.request_id}.a{attempt_number}"
+            attempt_ctx: Optional[TraceContext] = None
+            if request.ctx is not None:
+                # Re-anchor the request's trace on a pre-reserved
+                # attempt span id; the replica's queue/batch/stage
+                # spans parent under it, and the fleet emits the
+                # attempt span itself once the outcome is known.
+                attempt_ctx = request.ctx.child(
+                    self.tracer.next_span_id()
+                ).with_baggage(attempt=str(attempt_number))
             try:
                 serving_request = replica.server.submit(
                     request.cloud,
                     deadline_s=remaining,
                     request_id=attempt_id,
+                    ctx=attempt_ctx,
                 )
             except AdmissionError as err:
                 last_refusal = err
@@ -494,6 +548,7 @@ class ServerFleet:
                         index,
                         "refused",
                         type(err).__name__,
+                        trace_id=self._trace_of(request),
                     )
                 )
                 continue
@@ -507,6 +562,7 @@ class ServerFleet:
                 submitted_s=now,
                 serving_request=serving_request,
                 hedge=hedge,
+                ctx=attempt_ctx,
             )
             with self._cond:
                 self._attempts[attempt_id] = attempt
@@ -524,6 +580,7 @@ class ServerFleet:
                     attempt_number,
                     index,
                     "hedge" if hedge else "dispatch",
+                    trace_id=self._trace_of(request),
                 )
             )
             if not hedge and self.config.hedge is not None:
@@ -582,11 +639,79 @@ class ServerFleet:
             if attempt is not None:
                 self._handle_outcome(attempt, now)
 
+    def _trace_of(self, request: FleetRequest) -> str:
+        return request.ctx.trace_id if request.ctx is not None else ""
+
+    def _emit_attempt_span(
+        self, attempt: _Attempt, now: float, error: Optional[BaseException]
+    ) -> None:
+        """Emit the attempt span reserved at dispatch time.
+
+        Parented under the request's root span; the replica-side
+        queue/batch/stage spans already point at this id via the
+        attempt's child context, so the stitched trace has no orphans
+        even though the span is written after its children.
+        """
+        ctx = attempt.ctx
+        root = attempt.request.ctx
+        if ctx is None or root is None:
+            return
+        attrs: Dict[str, object] = {
+            "replica": attempt.replica,
+            "hedge": attempt.hedge,
+            "outcome": (
+                "ok" if error is None else type(error).__name__
+            ),
+        }
+        if attempt.cancelled:
+            attrs["cancelled"] = True
+        self.tracer.emit_span(
+            "request.attempt",
+            start_s=self.tracer.rel(attempt.submitted_s),
+            duration_s=max(0.0, now - attempt.submitted_s),
+            trace_id=ctx.trace_id,
+            span_id=ctx.span_id,
+            parent_id=root.span_id,
+            thread="requests",
+            attrs=attrs,
+        )
+
+    def _close_request_trace(
+        self,
+        request: FleetRequest,
+        now: float,
+        outcome: str,
+        detail: str = "",
+    ) -> None:
+        """Emit the root span reserved at fleet admission."""
+        ctx = request.ctx
+        if ctx is None:
+            return
+        attrs: Dict[str, object] = {
+            "request_id": request.request_id,
+            "tenant": request.tenant,
+            "outcome": outcome,
+            "attempts": request.attempts,
+            "hedges": request.hedges,
+        }
+        if detail:
+            attrs["detail"] = detail
+        self.tracer.emit_span(
+            "request",
+            start_s=self.tracer.rel(request.arrival_s),
+            duration_s=max(0.0, now - request.arrival_s),
+            trace_id=ctx.trace_id,
+            span_id=ctx.span_id,
+            thread="requests",
+            attrs=attrs,
+        )
+
     def _handle_outcome(self, attempt: _Attempt, now: float) -> None:
         request = attempt.request
         request.inflight.discard(attempt.attempt_id)
         replica = self.replicas[attempt.replica]
         error = attempt.serving_request.future.exception()
+        self._emit_attempt_span(attempt, now, error)
         if error is None:
             latency = max(0.0, now - attempt.submitted_s)
             replica.health.record_success(now, latency)
@@ -615,8 +740,10 @@ class ServerFleet:
                         request.attempts,
                         attempt.replica,
                         "hedge_win",
+                        trace_id=self._trace_of(request),
                     )
                 )
+            self._close_request_trace(request, now, "ok")
             self._cancel_siblings(request, now)
             return
         failure_kind = (
@@ -655,8 +782,10 @@ class ServerFleet:
                 request.attempts,
                 replica,
                 "expired",
+                trace_id=self._trace_of(request),
             )
         )
+        self._close_request_trace(request, now, "expired")
         request.future.set_exception(error)
 
     def _fail_request(
@@ -680,7 +809,11 @@ class ServerFleet:
                 replica,
                 "failed",
                 type(error).__name__,
+                trace_id=self._trace_of(request),
             )
+        )
+        self._close_request_trace(
+            request, now, "failed", detail=type(error).__name__
         )
         request.future.set_exception(error)
 
@@ -706,7 +839,11 @@ class ServerFleet:
                 replica,
                 "exhausted",
                 type(cause).__name__,
+                trace_id=self._trace_of(request),
             )
+        )
+        self._close_request_trace(
+            request, now, "exhausted", detail=type(cause).__name__
         )
         exhausted = RetryExhaustedError(
             f"request {request.request_id!r} exhausted after "
@@ -746,6 +883,7 @@ class ServerFleet:
                 "retry",
                 type(error).__name__,
                 backoff_s=backoff,
+                trace_id=self._trace_of(request),
             )
         )
         with self._cond:
@@ -777,6 +915,7 @@ class ServerFleet:
                     request.attempts,
                     sibling.replica,
                     "hedge_cancel",
+                    trace_id=self._trace_of(request),
                 )
             )
 
@@ -849,6 +988,7 @@ class ServerFleet:
                     "retry",
                     "placement",
                     backoff_s=backoff,
+                    trace_id=self._trace_of(request),
                 )
             )
             with self._cond:
@@ -1002,6 +1142,10 @@ class ServerFleet:
         if not pending:
             return 0
         for serving_request in pending:
+            emit_request_trace(
+                self.tracer, serving_request, now, "shed",
+                detail=reason,
+            )
             serving_request.future.set_exception(
                 ReplicaFaultError(
                     f"attempt {serving_request.request_id!r} shed: "
@@ -1039,7 +1183,12 @@ class ServerFleet:
                 error = ReplicaFaultError(
                     f"replica {index} is {replica.gate.describe()}"
                 )
+                now = self.clock()
                 for serving_request in batch.requests:
+                    emit_request_trace(
+                        self.tracer, serving_request, now, "failed",
+                        detail="replica_fault",
+                    )
                     serving_request.future.set_exception(error)
                 replica.server.failed += batch.size
                 if self.metrics is not None:

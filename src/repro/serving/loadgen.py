@@ -462,6 +462,10 @@ class FleetLoadGenerator:
         clock: the shared virtual clock (defaults to the fleet's).
         chaos: optional :class:`~repro.serving.chaos.ChaosHarness`
             replayed as virtual time passes.
+        slo: optional :class:`~repro.observability.slo.SloEngine`
+            ticked on every event-loop step (and through the drain
+            tail), so burn-rate windows see the same virtual instants
+            the fleet acted on — deterministic per seed.
     """
 
     def __init__(
@@ -470,9 +474,11 @@ class FleetLoadGenerator:
         config: Optional[LoadGenConfig] = None,
         clock: Optional[FixedClock] = None,
         chaos=None,
+        slo=None,
     ) -> None:
         self.fleet = fleet
         self.config = config or LoadGenConfig()
+        self.slo = slo
         if clock is None:
             clock = fleet.clock
         if not isinstance(clock, FixedClock):
@@ -699,10 +705,14 @@ class FleetLoadGenerator:
                 submit_arrival(now)
             fleet.service(now)
             dispatch_free(now)
+            if self.slo is not None:
+                self.slo.tick(now)
 
         self._drain_tail(tracked, dispatch_free, advance_to)
 
         now = self.clock()
+        if self.slo is not None:
+            self.slo.tick(now)
         report.admitted = fleet.accepted
         report.rejected = fleet.submit_rejected
         report.expired = fleet.expired
@@ -773,3 +783,5 @@ class FleetLoadGenerator:
             if next_timer is not None and next_timer > now:
                 advance_to(next_timer)
             fleet.service(self.clock())
+            if self.slo is not None:
+                self.slo.tick(self.clock())

@@ -28,7 +28,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.observability.clock import Clock, wall_clock
+from repro.observability.context import TraceContext
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
 
 
 class AdmissionError(RuntimeError):
@@ -75,6 +77,11 @@ class ServingRequest:
             :class:`~repro.serving.server.ServedResult` or to a typed
             error (:class:`DeadlineExceededError`,
             :class:`QueueClosedError`, a guard rejection, ...).
+        ctx: trace context minted at the front door (fleet or server
+            submit); every span the request touches — queue wait,
+            batch execution, kernel stages, terminal outcome — joins
+            ``ctx.trace_id`` so cross-replica attempts stitch into a
+            single trace.  ``None`` only when tracing is disabled.
     """
 
     request_id: str
@@ -82,6 +89,7 @@ class ServingRequest:
     arrival_s: float
     deadline_s: Optional[float] = None
     future: Future = field(default_factory=Future)
+    ctx: Optional[TraceContext] = None
 
     @property
     def n_points(self) -> int:
@@ -92,6 +100,54 @@ class ServingRequest:
         virtual-time event loop parked exactly on the deadline makes
         progress instead of re-polling the same instant forever."""
         return self.deadline_s is not None and now >= self.deadline_s
+
+
+def emit_request_trace(
+    tracer: Tracer,
+    request: ServingRequest,
+    now: float,
+    outcome: str,
+    detail: str = "",
+) -> None:
+    """Project a request's unhappy terminal state into its trace.
+
+    Emits a ``request.<outcome>`` span covering arrival → ``now`` under
+    the request's :class:`TraceContext`, and — when this context *owns*
+    the trace (``ctx.is_root``) — the late-bound root span reserved at
+    mint time.  Shared by every path that resolves a request future
+    without a result: batcher expiry, batch failure, shutdown
+    cancellation, and fleet shed/brownout paths, so no future is ever
+    settled outside its trace (lint rule OBS-303 keeps it that way).
+    """
+    ctx = request.ctx
+    if ctx is None or not tracer.enabled:
+        return
+    attrs: Dict[str, object] = {"outcome": outcome}
+    if detail:
+        attrs["detail"] = detail
+    tracer.emit_span(
+        f"request.{outcome}",
+        start_s=tracer.rel(request.arrival_s),
+        duration_s=max(0.0, now - request.arrival_s),
+        trace_id=ctx.trace_id,
+        parent_id=ctx.span_id,
+        thread="requests",
+        attrs=attrs,
+    )
+    if ctx.is_root:
+        root_attrs: Dict[str, object] = {
+            "request_id": request.request_id,
+            "outcome": outcome,
+        }
+        tracer.emit_span(
+            "request",
+            start_s=tracer.rel(request.arrival_s),
+            duration_s=max(0.0, now - request.arrival_s),
+            trace_id=ctx.trace_id,
+            span_id=ctx.span_id,
+            thread="requests",
+            attrs=root_attrs,
+        )
 
 
 class RequestQueue:

@@ -169,6 +169,9 @@ class RetryEvent:
             ``failed`` | ``expired``.
         detail: error type or free-form annotation.
         backoff_s: scheduled backoff (retry events only).
+        trace_id: the request's trace id, so a retry-trace row can be
+            joined against the span trace it belongs to (empty when
+            tracing was disabled or the request never got a context).
     """
 
     t_s: float
@@ -178,6 +181,7 @@ class RetryEvent:
     event: str
     detail: str = ""
     backoff_s: float = 0.0
+    trace_id: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -188,4 +192,5 @@ class RetryEvent:
             "event": self.event,
             "detail": self.detail,
             "backoff_s": self.backoff_s,
+            "trace_id": self.trace_id,
         }

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.observability.clock import Clock, wall_clock
+from repro.observability.context import TraceContext
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import NULL_TRACER, Tracer
 from repro.core.workspace import Workspace
@@ -50,6 +51,13 @@ from repro.serving.queue import (
     QueueClosedError,
     RequestQueue,
     ServingRequest,
+    emit_request_trace,
+)
+
+#: Histogram buckets for end-to-end request latency (seconds).
+REQUEST_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
 )
 
 
@@ -117,6 +125,8 @@ class ServedResult:
         queue_wait_s: admission-to-dispatch wait on the serving clock.
         simulated_batch_s: the whole batch's simulated device seconds.
         degraded_stages: guard fallbacks applied to the batch, if any.
+        trace_id: the request's trace id (empty when tracing was off),
+            so callers can join a result against the exported trace.
     """
 
     request_id: str
@@ -127,6 +137,7 @@ class ServedResult:
     queue_wait_s: float
     simulated_batch_s: float
     degraded_stages: Tuple[str, ...] = ()
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -212,6 +223,7 @@ class InferenceServer:
             max_wait_s=self.config.max_wait_ms / 1e3,
             clock=clock,
             metrics=metrics,
+            tracer=self.tracer,
         )
         self.records: List[DispatchRecord] = []
         self.completed = 0
@@ -229,12 +241,16 @@ class InferenceServer:
         cloud: np.ndarray,
         deadline_s: Optional[float] = None,
         request_id: Optional[str] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> ServingRequest:
         """Admit one ``(N, 3)`` cloud; returns the queued request.
 
         ``deadline_s`` is relative to now on the serving clock (the
         config's ``default_deadline_ms`` applies when omitted).
-        Raises a typed
+        ``ctx`` carries an upstream trace context (the fleet passes
+        one per attempt); when omitted and tracing is on, the server
+        mints a root context here so even standalone submissions get a
+        stitched trace.  Raises a typed
         :class:`~repro.serving.queue.AdmissionError` when the queue
         is full or the server is draining; full sanitization happens
         later, inside the pipeline, where its policy and metrics
@@ -252,20 +268,26 @@ class InferenceServer:
                 self.config.default_deadline_ms is not None
             ):
                 deadline_s = self.config.default_deadline_ms / 1e3
+            rid = (
+                request_id
+                if request_id is not None
+                else self._next_id()
+            )
+            if ctx is None:
+                ctx = self.tracer.mint_context(rid)
             request = ServingRequest(
-                request_id=(
-                    request_id
-                    if request_id is not None
-                    else self._next_id()
-                ),
+                request_id=rid,
                 cloud=cloud,
                 arrival_s=now,
                 deadline_s=(
                     None if deadline_s is None else now + deadline_s
                 ),
+                ctx=ctx,
             )
             span.set("request_id", request.request_id)
             span.set("points", request.n_points)
+            if ctx is not None:
+                span.set("trace_id", ctx.trace_id)
             self.queue.put(request)
             return request
 
@@ -295,7 +317,11 @@ class InferenceServer:
     def _fail_batch(
         self, batch: MicroBatch, error: Exception, reason: str
     ) -> None:
+        now = self.clock()
         for request in batch.requests:
+            emit_request_trace(
+                self.tracer, request, now, "failed", detail=reason
+            )
             request.future.set_exception(error)
         self.failed += batch.size
         self._count_failed(batch.size, reason)
@@ -312,6 +338,15 @@ class InferenceServer:
             span.set("batch", batch.size)
             span.set("points", batch.n_points)
             span.set("trigger", batch.trigger)
+            for request in batch.requests:
+                if request.ctx is not None:
+                    # Fan out one link per coalesced request so the
+                    # wall-clock batch span references every request
+                    # trace it served (and vice versa via the
+                    # request.batch projection below).
+                    span.add_link(
+                        request.ctx.trace_id, request.ctx.span_id
+                    )
             started = self.clock()
             ok, error_text = True, ""
             simulated_s = 0.0
@@ -328,7 +363,15 @@ class InferenceServer:
                     self.metrics.counter(
                         "serving_failed_total", reason="pipeline_error"
                     ).inc(batch.size)
+                now = self.clock()
                 for request in batch.requests:
+                    emit_request_trace(
+                        self.tracer,
+                        request,
+                        now,
+                        "failed",
+                        detail=type(err).__name__,
+                    )
                     request.future.set_exception(err)
                 self.failed += batch.size
             else:
@@ -352,7 +395,10 @@ class InferenceServer:
                     inner = getattr(result, "result", None)
                     profiled = inner if inner is not None else result
                     simulated_s = profiled.breakdown.total_s
-                    self._complete(batch, profiled, degraded, started)
+                    self._complete(
+                        batch, profiled, degraded, started,
+                        dispatch_span_id=span.span_id,
+                    )
             span.set("ok", ok)
             record = DispatchRecord(
                 dispatched_s=batch.formed_s,
@@ -379,10 +425,15 @@ class InferenceServer:
         profiled,
         degraded: Tuple[str, ...],
         started: float,
+        dispatch_span_id: int = 0,
     ) -> None:
         registry = self.metrics
+        total_s = profiled.breakdown.total_s
         for index, request in enumerate(batch.requests):
             wait_s = max(0.0, started - request.arrival_s)
+            trace_id = (
+                request.ctx.trace_id if request.ctx is not None else ""
+            )
             request.future.set_result(
                 ServedResult(
                     request_id=request.request_id,
@@ -391,8 +442,9 @@ class InferenceServer:
                     batch_size=batch.size,
                     trigger=batch.trigger,
                     queue_wait_s=wait_s,
-                    simulated_batch_s=profiled.breakdown.total_s,
+                    simulated_batch_s=total_s,
                     degraded_stages=degraded,
+                    trace_id=trace_id,
                 )
             )
             self.completed += 1
@@ -401,6 +453,98 @@ class InferenceServer:
                 registry.histogram(
                     "serving_queue_wait_seconds"
                 ).observe(wait_s)
+                # Device time is priced from the cost model; lane
+                # queueing behind busy workers is not included here.
+                registry.histogram(
+                    "serving_request_latency_seconds",
+                    buckets=REQUEST_LATENCY_BUCKETS,
+                ).observe(
+                    wait_s + total_s, trace_id=trace_id or None
+                )
+            self._emit_request_spans(
+                request, batch, profiled, started, dispatch_span_id
+            )
+
+    def _emit_request_spans(
+        self,
+        request: ServingRequest,
+        batch: MicroBatch,
+        profiled,
+        started: float,
+        dispatch_span_id: int,
+    ) -> None:
+        """Project one served request into its trace.
+
+        Emits ``request.queue`` (admission → dispatch) and
+        ``request.batch`` (the batch's simulated device time, linked
+        to the wall-clock dispatch span) under the request's context,
+        with one child span per kernel stage tiled from the profiled
+        breakdown — so a single trace shows where the request's
+        latency went, across replicas.
+        """
+        ctx = request.ctx
+        if ctx is None or not self.tracer.enabled:
+            return
+        tracer = self.tracer
+        breakdown = profiled.breakdown
+        start = tracer.rel(request.arrival_s)
+        dispatch = tracer.rel(started)
+        tracer.emit_span(
+            "request.queue",
+            start_s=start,
+            duration_s=max(0.0, dispatch - start),
+            trace_id=ctx.trace_id,
+            parent_id=ctx.span_id,
+            thread="requests",
+            attrs={"trigger": batch.trigger},
+        )
+        batch_span = tracer.emit_span(
+            "request.batch",
+            start_s=dispatch,
+            duration_s=breakdown.total_s,
+            trace_id=ctx.trace_id,
+            parent_id=ctx.span_id,
+            thread="requests",
+            attrs={
+                "batch_size": batch.size,
+                "points": batch.n_points,
+                "trigger": batch.trigger,
+            },
+            links=(
+                [("", dispatch_span_id)] if dispatch_span_id else None
+            ),
+        )
+        offset = dispatch
+        for stage, seconds in (
+            ("sample", breakdown.sample_s),
+            ("neighbor_search", breakdown.neighbor_s),
+            ("grouping", breakdown.grouping_s),
+            ("feature_compute", breakdown.feature_s),
+        ):
+            tracer.emit_span(
+                f"request.{stage}",
+                start_s=offset,
+                duration_s=seconds,
+                category="stage",
+                trace_id=ctx.trace_id,
+                parent_id=batch_span,
+                thread="requests",
+            )
+            offset += seconds
+        if ctx.is_root:
+            end = dispatch + breakdown.total_s
+            tracer.emit_span(
+                "request",
+                start_s=start,
+                duration_s=max(0.0, end - start),
+                trace_id=ctx.trace_id,
+                span_id=ctx.span_id,
+                thread="requests",
+                attrs={
+                    "request_id": request.request_id,
+                    "outcome": "ok",
+                },
+            )
 
     # Threaded mode ---------------------------------------------------
 
@@ -441,8 +585,16 @@ class InferenceServer:
                         "serving_failed_total",
                         reason="worker_error",
                     ).inc(batch.size)
+                now = self.clock()
                 for request in batch.requests:
                     if not request.future.done():
+                        emit_request_trace(
+                            self.tracer,
+                            request,
+                            now,
+                            "failed",
+                            detail="worker_error",
+                        )
                         request.future.set_exception(
                             InferenceRejectedError(
                                 "serving worker failed while "
@@ -493,7 +645,11 @@ class InferenceServer:
         with self.queue.condition:
             pending = self.queue.pop_pending()
         pending.extend(self.batcher.cancel_buffered())
+        now = self.clock()
         for request in pending:
+            emit_request_trace(
+                self.tracer, request, now, "cancelled", detail="stop"
+            )
             request.future.set_exception(
                 QueueClosedError(
                     f"request {request.request_id!r} cancelled: "

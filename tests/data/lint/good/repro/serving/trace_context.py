@@ -1,0 +1,30 @@
+"""Known-good trace-context fixture: retry events carry trace_id and
+future resolutions happen next to the trace context, so OBS-303 stays
+silent (as does every other rule)."""
+
+
+def record_retry(timeline, request, replica, now):
+    timeline.append(
+        RetryEvent(  # noqa: F821
+            t_s=now,
+            request_id=request.request_id,
+            replica=replica,
+            kind="retry",
+            trace_id=request.ctx.trace_id if request.ctx else "",
+        )
+    )
+
+
+def complete(request, result, tracer, now):
+    emit_request_trace(  # noqa: F821
+        tracer, request, now, "ok"
+    )
+    request.future.set_result(result)
+
+
+def fail(request, error, registry, tracer, now):
+    registry.counter("serving_fleet_failed_total").inc()
+    emit_request_trace(  # noqa: F821
+        tracer, request, now, "failed", detail=str(error)
+    )
+    request.future.set_exception(error)

@@ -6,6 +6,11 @@ deterministic chaos injection, and the fleet itself: zero lost
 requests when a replica dies mid-load, deadline-aware retries, hedged
 dispatch, brownout shedding, and byte-identical reports and retry
 traces across same-seed runs — all in virtual time.
+
+PR 7 adds the trace-propagation contract: one trace id per request,
+stitched across queue/batch/attempt/kernel-stage spans on every
+replica it touched, with zero orphan spans — under retries, hedges,
+and real threads alike.
 """
 
 import json
@@ -15,6 +20,7 @@ import pytest
 
 from repro.core import EdgePCConfig
 from repro.nn import PointNet2Segmentation, SAConfig
+from repro.observability import Tracer, find_orphans, spans_by_trace
 from repro.observability.clock import FixedClock
 from repro.observability.metrics import MetricsRegistry
 from repro.pipeline import EdgePCPipeline
@@ -403,6 +409,133 @@ class TestChaosUnderLoad:
         assert report_a.to_dict() != report_b.to_dict()
 
 
+def _traced_chaos_run(seed=7):
+    """Virtual-time chaos run with tracing on: an erroring replica
+    (forces retries) plus a slowed replica (forces hedges)."""
+    metrics = MetricsRegistry()
+    clock = FixedClock(0.0)
+    tracer = Tracer(clock=clock)
+    fleet = ServerFleet(
+        [_pipeline(seed=0) for _ in range(3)],
+        config=FleetConfig(
+            default_deadline_ms=500.0,
+            retry=RetryPolicy(max_attempts=4),
+            hedge=HedgePolicy(min_delay_s=0.015, min_samples=4),
+        ),
+        serving_config=ServingConfig(
+            max_batch_size=4, max_wait_ms=20.0, workers=1
+        ),
+        clock=clock,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    schedule = ChaosSchedule.from_specs(
+        ["error:1:0.05", "slow:2:0.1:8", "recover:1:0.4", "recover:2:0.6"]
+    )
+    harness = ChaosHarness(fleet, schedule, metrics=metrics)
+    config = LoadGenConfig(duration_s=0.8, rate=60.0, seed=seed)
+    report = FleetLoadGenerator(
+        fleet, config, clock=clock, chaos=harness
+    ).run()
+    return report, fleet, tracer
+
+
+class TestTracePropagation:
+    def test_every_result_carries_its_trace_id(self, rng):
+        clock = FixedClock(0.0)
+        tracer = Tracer(clock=clock)
+        fleet = ServerFleet(
+            [_pipeline(seed=0) for _ in range(3)],
+            serving_config=ServingConfig(
+                max_batch_size=4, max_wait_ms=20.0, workers=1
+            ),
+            clock=clock,
+            tracer=tracer,
+        )
+        requests = [
+            fleet.submit(
+                rng.random((N_POINTS, 3)), tenant=f"tenant-{i}"
+            )
+            for i in range(3)
+        ]
+        for request in requests:
+            _drive(fleet, clock, request)
+            result = request.future.result()
+            assert result.trace_id == f"trace-{request.request_id}"
+            assert request.ctx is not None
+            assert request.ctx.trace_id == result.trace_id
+            assert request.ctx.is_root
+
+    def test_one_stitched_trace_per_request_no_orphans(self):
+        report, fleet, tracer = _traced_chaos_run()
+        # The scenario must actually exercise the hard paths.
+        assert report.retries >= 1
+        assert fleet.hedges >= 1
+        records = [span.to_dict() for span in tracer.finished()]
+        assert find_orphans(records) == []
+        grouped = spans_by_trace(records)
+        roots = [
+            r
+            for r in records
+            if r.get("name") == "request" and r.get("trace_id")
+        ]
+        # One root span per trace, one trace per admitted request.
+        assert len(roots) == len(grouped)
+        by_id = {r["trace_id"]: r for r in roots}
+        assert set(by_id) == set(grouped)
+        # Every trace covers the full request lifecycle.
+        for trace_id, spans in grouped.items():
+            names = {s["name"] for s in spans}
+            assert "request" in names
+            if by_id[trace_id]["attrs"]["outcome"] == "ok":
+                assert "request.queue" in names
+                assert "request.batch" in names
+                assert "request.sample" in names
+
+    def test_multi_attempt_traces_span_replicas(self):
+        report, fleet, tracer = _traced_chaos_run()
+        records = [span.to_dict() for span in tracer.finished()]
+        grouped = spans_by_trace(records)
+        multi = {
+            trace_id: spans
+            for trace_id, spans in grouped.items()
+            if sum(
+                1
+                for s in spans
+                if s["name"] == "request.attempt"
+            )
+            >= 2
+        }
+        assert multi, "chaos scenario produced no retried request"
+        for spans in multi.values():
+            replicas = {
+                s["attrs"]["replica"]
+                for s in spans
+                if s["name"] == "request.attempt"
+            }
+            assert len(replicas) >= 2
+
+    def test_retry_events_carry_trace_ids(self):
+        report, fleet, tracer = _traced_chaos_run()
+        assert fleet.trace, "no retry events recorded"
+        for event in fleet.trace:
+            assert event.trace_id.startswith("trace-"), event
+            assert event.to_dict()["trace_id"] == event.trace_id
+
+    def test_same_seed_trace_export_byte_identical(self):
+        _, _, tracer_a = _traced_chaos_run()
+        _, _, tracer_b = _traced_chaos_run()
+        dump_a = json.dumps(
+            [s.to_dict() for s in tracer_a.finished()],
+            sort_keys=True,
+        )
+        dump_b = json.dumps(
+            [s.to_dict() for s in tracer_b.finished()],
+            sort_keys=True,
+        )
+        assert dump_a == dump_b
+
+
 class TestFleetThreaded:
     def test_threaded_smoke_completes_all(self, rng):
         fleet = ServerFleet(
@@ -421,3 +554,63 @@ class TestFleetThreaded:
         for request in requests:
             assert request.future.result(timeout=10.0) is not None
         assert fleet.completed == 6
+
+    def test_threaded_traces_stitch_under_faults(self, rng):
+        tracer = Tracer()
+        fleet = ServerFleet(
+            [_pipeline(seed=0) for _ in range(3)],
+            config=FleetConfig(
+                retry=RetryPolicy(
+                    max_attempts=4, base_backoff_s=0.005
+                ),
+                # 1 ms hedge floor against a 5 ms batch window: every
+                # request earns a hedge from the maintenance thread.
+                hedge=HedgePolicy(min_delay_s=0.001),
+            ),
+            serving_config=ServingConfig(
+                max_batch_size=4, max_wait_ms=5.0, workers=1
+            ),
+            tracer=tracer,
+        )
+
+        def tenants_with_primary(replica_index, count):
+            chosen = []
+            for i in range(256):
+                tenant = f"tenant-{i}"
+                if fleet.router.preference(tenant)[0] == (
+                    replica_index
+                ):
+                    chosen.append(tenant)
+                    if len(chosen) == count:
+                        return chosen
+            raise AssertionError("no tenants route there")
+
+        with fleet:
+            # Burst at one replica's queue, then kill it: the shed
+            # backlog retries on the survivors across real threads.
+            requests = [
+                fleet.submit(rng.random((N_POINTS, 3)), tenant=t)
+                for t in tenants_with_primary(0, 8)
+            ]
+            fleet.kill_replica(0)
+            results = [
+                r.future.result(timeout=10.0) for r in requests
+            ]
+        assert fleet.stats()["retries"] >= 1
+        assert fleet.hedges >= 1
+        for request, result in zip(requests, results):
+            assert result.trace_id == f"trace-{request.request_id}"
+        records = [span.to_dict() for span in tracer.finished()]
+        assert find_orphans(records) == []
+        grouped = spans_by_trace(records)
+        multi_attempt = [
+            spans
+            for spans in grouped.values()
+            if sum(
+                1
+                for s in spans
+                if s["name"] == "request.attempt"
+            )
+            >= 2
+        ]
+        assert multi_attempt, "kill shed no in-flight attempts"

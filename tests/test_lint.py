@@ -52,6 +52,8 @@ FIXTURES = {
 SERVING_FIXTURES = {
     "OBS-301": ("repro/serving/servers.py", 3),
     "OBS-302": ("repro/serving/metric_names.py", 3),
+    # PR 7: terminal serving events must stay on the request trace.
+    "OBS-303": ("repro/serving/trace_context.py", 3),
 }
 
 
@@ -117,6 +119,13 @@ class TestServingFixtures:
         # retry loops elsewhere in the tree are not flagged.
         source = (BAD / "repro/serving/retry_loops.py").read_text()
         findings = lint_source("repro/sim/retry_loops.py", source)
+        assert findings == []
+
+    def test_trace_context_rule_only_applies_inside_serving(self):
+        # OBS-303 guards the serving trace-propagation invariant; the
+        # same future/RetryEvent patterns elsewhere are not flagged.
+        source = (BAD / "repro/serving/trace_context.py").read_text()
+        findings = lint_source("repro/sim/trace_context.py", source)
         assert findings == []
 
     def test_serving_prefix_only_required_inside_serving(self):

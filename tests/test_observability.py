@@ -2,6 +2,7 @@
 registry, exporters, and the run-report aggregator."""
 
 import json
+import math
 import os
 import threading
 import tracemalloc
@@ -10,15 +11,23 @@ import numpy as np
 import pytest
 
 from repro.observability import (
+    FixedClock,
     MetricsRegistry,
     NULL_SPAN,
     NULL_TRACER,
     RunReport,
+    TraceContext,
     Tracer,
     emit_stage_spans,
+    escape_label_value,
+    find_orphans,
     global_registry,
+    mint_trace_id,
     parse_prometheus,
+    parse_prometheus_series,
     reset_global_registry,
+    spans_by_trace,
+    unescape_label_value,
 )
 from repro.observability import tracing as tracing_module
 from repro.runtime.profiler import StageBreakdown
@@ -200,6 +209,78 @@ class TestChromeExportGolden:
         assert records[0]["cost_s"] == pytest.approx(0.004)
 
 
+class TestTraceContext:
+    def test_mint_sets_root_and_baggage(self):
+        ctx = TraceContext.mint("r1", span_id=7, tenant="a")
+        assert ctx.trace_id == mint_trace_id("r1") == "trace-r1"
+        assert ctx.span_id == 7
+        assert ctx.is_root
+        assert ctx.get("tenant") == "a"
+        assert ctx.get("request_id") == "r1"
+
+    def test_child_keeps_trace_but_not_root(self):
+        ctx = TraceContext.mint("r1", span_id=7)
+        child = ctx.child(9)
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id == 9
+        assert not child.is_root
+        assert child.get("request_id") == "r1"
+
+    def test_with_baggage_is_immutable_update(self):
+        ctx = TraceContext.mint("r1", span_id=1)
+        tagged = ctx.with_baggage(attempt="2")
+        assert tagged.get("attempt") == "2"
+        assert ctx.get("attempt") is None
+        assert tagged.to_dict()["baggage"]["attempt"] == "2"
+
+    def test_tracer_mints_contexts_only_when_enabled(self):
+        assert NULL_TRACER.mint_context("r1") is None
+        tracer = Tracer(clock=FixedClock(0.0))
+        ctx = tracer.mint_context("r1", tenant="t")
+        assert ctx is not None and ctx.is_root
+        assert ctx.get("tenant") == "t"
+
+
+class TestTraceStitching:
+    def _records(self, tracer):
+        return [span.to_dict() for span in tracer.finished()]
+
+    def test_emit_span_carries_trace_identity(self):
+        tracer = Tracer(clock=FixedClock(0.0))
+        root = tracer.next_span_id()
+        tracer.emit_span(
+            "request", start_s=0.0, duration_s=0.5,
+            trace_id="trace-r1", span_id=root,
+        )
+        tracer.emit_span(
+            "request.queue", start_s=0.0, duration_s=0.1,
+            trace_id="trace-r1", parent_id=root,
+        )
+        records = self._records(tracer)
+        grouped = spans_by_trace(records)
+        assert set(grouped) == {"trace-r1"}
+        assert [r["name"] for r in grouped["trace-r1"]] == [
+            "request",
+            "request.queue",
+        ]
+        assert find_orphans(records) == []
+
+    def test_find_orphans_flags_missing_parent(self):
+        tracer = Tracer(clock=FixedClock(0.0))
+        tracer.emit_span(
+            "request.queue", start_s=0.0, duration_s=0.1,
+            trace_id="trace-r1", parent_id=12345,
+        )
+        orphans = find_orphans(self._records(tracer))
+        assert [o["name"] for o in orphans] == ["request.queue"]
+
+    def test_untraced_spans_are_not_orphans(self):
+        # Spans without a trace_id (the workload tracer's output) are
+        # outside the stitching contract entirely.
+        tracer = _golden_tracer()
+        assert find_orphans(self._records(tracer)) == []
+
+
 class TestMetricsRegistry:
     def test_counter_accumulates_and_rejects_negative(self):
         registry = MetricsRegistry()
@@ -255,9 +336,11 @@ class TestMetricsRegistry:
         with pytest.raises(ValueError):
             registry.histogram("h", buckets=(1.0, 0.1))
 
-    def test_empty_histogram_quantile_is_zero(self):
+    def test_empty_histogram_quantile_is_nan(self):
+        # A 0.0 here once let an idle chaos run (zero samples) pass
+        # the p95 gate as "0 ms"; no-data must not read as healthy.
         hist = MetricsRegistry().histogram("h", buckets=(1.0,))
-        assert hist.quantile(0.5) == 0.0
+        assert math.isnan(hist.quantile(0.5))
 
     def test_snapshot_is_sorted_and_json_serializable(self):
         registry = MetricsRegistry()
@@ -311,6 +394,116 @@ class TestSnapshotRoundTrip:
         registry.counter("t_total", stage="b").inc()
         text = registry.to_prometheus()
         assert text.count("# TYPE t_total counter") == 1
+
+
+class TestExemplars:
+    def test_observe_keeps_bucket_representative(self):
+        hist = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(0.1, 1.0)
+        )
+        hist.observe(0.05, trace_id="trace-a")
+        hist.observe(0.08, trace_id="trace-b")  # max of its bucket
+        hist.observe(0.5)  # no trace id: never an exemplar
+        assert hist.exemplar_for_quantile(0.0) == ("trace-b", 0.08)
+
+    def test_exemplar_prefers_the_slow_tail(self):
+        hist = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(0.1, 1.0)
+        )
+        hist.observe(0.05, trace_id="trace-fast")
+        hist.observe(2.0, trace_id="trace-slow")
+        assert hist.exemplar_for_quantile(0.99) == (
+            "trace-slow",
+            2.0,
+        )
+
+    def test_no_exemplars_returns_none(self):
+        hist = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(1.0,)
+        )
+        hist.observe(0.5)
+        assert hist.exemplar_for_quantile(0.5) is None
+        with pytest.raises(ValueError):
+            hist.exemplar_for_quantile(1.5)
+
+    def test_exemplars_survive_snapshot_round_trip(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds", buckets=(1.0,))
+        hist.observe(0.5, trace_id="trace-x")
+        clone = MetricsRegistry.from_snapshot(registry.snapshot())
+        restored = clone.histogram("latency_seconds", buckets=(1.0,))
+        assert restored.exemplar_for_quantile(0.5) == (
+            "trace-x",
+            0.5,
+        )
+
+
+class TestLabelEscaping:
+    def test_escape_round_trips_the_nasty_characters(self):
+        raw = 'tenant "a"\\with\nnewline'
+        assert unescape_label_value(escape_label_value(raw)) == raw
+
+    def test_prometheus_series_round_trip_with_escapes(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "requests_total", tenant='t"quoted"', path="a\\b\nc"
+        ).inc(3)
+        series = parse_prometheus_series(registry.to_prometheus())
+        key = (
+            "requests_total",
+            (("path", "a\\b\nc"), ("tenant", 't"quoted"')),
+        )
+        assert series[key] == 3.0
+
+    def test_property_escape_unescape_round_trip(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=200, deadline=None)
+        @given(
+            st.text(
+                alphabet=st.characters(
+                    blacklist_categories=("Cs",)
+                ),
+                max_size=40,
+            )
+        )
+        def check(value):
+            assert (
+                unescape_label_value(escape_label_value(value))
+                == value
+            )
+            escaped = escape_label_value(value)
+            assert "\n" not in escaped
+
+        check()
+
+    def test_property_series_round_trip(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        label_text = st.text(
+            alphabet=st.characters(
+                whitelist_categories=("L", "N", "P", "S", "Z"),
+                whitelist_characters='\\"\n',
+            ),
+            min_size=0,
+            max_size=24,
+        )
+
+        @settings(max_examples=100, deadline=None)
+        @given(label_text)
+        def check(value):
+            registry = MetricsRegistry()
+            registry.counter("series_total", label=value).inc()
+            series = parse_prometheus_series(
+                registry.to_prometheus()
+            )
+            assert series[
+                ("series_total", (("label", value),))
+            ] == 1.0
+
+        check()
 
 
 class TestRegistryConcurrency:

@@ -14,9 +14,11 @@ import pytest
 from repro.core import EdgePCConfig
 from repro.core.workspace import Workspace, WorkspaceOwnershipError
 from repro.nn import PointNet2Segmentation, SAConfig
+from repro.observability import Tracer, find_orphans, spans_by_trace
 from repro.observability.clock import FixedClock
 from repro.observability.metrics import MetricsRegistry
 from repro.pipeline import EdgePCPipeline
+from repro.serving.server import REQUEST_LATENCY_BUCKETS
 from repro.robustness import (
     FaultInjector,
     FaultSpec,
@@ -615,3 +617,105 @@ class TestDrainTimeout:
         server.start()
         server.submit(rng.random((N_POINTS, 3)))
         server.stop(timeout_s=10.0)
+
+
+class TestServerTracing:
+    """PR 7: the single-server trace projection and exemplars."""
+
+    def _traced_server(self):
+        clock = FixedClock(0.0)
+        tracer = Tracer(clock=clock)
+        registry = MetricsRegistry()
+        server = InferenceServer(
+            _pipeline(),
+            ServingConfig(max_batch_size=4, max_wait_ms=10.0, workers=1),
+            clock=clock,
+            tracer=tracer,
+            metrics=registry,
+        )
+        return server, clock, tracer, registry
+
+    def _run(self, server, clock, rng, count=3):
+        requests = [
+            server.submit(rng.random((N_POINTS, 3)))
+            for _ in range(count)
+        ]
+        clock.advance(0.05)
+        server.pump()
+        return requests
+
+    def test_submit_mints_a_root_context(self, rng):
+        server, clock, tracer, _ = self._traced_server()
+        requests = self._run(server, clock, rng)
+        for request in requests:
+            assert request.ctx is not None
+            assert request.ctx.is_root
+            result = request.future.result()
+            assert result.trace_id == request.ctx.trace_id
+
+    def test_request_trace_covers_all_stages(self, rng):
+        server, clock, tracer, _ = self._traced_server()
+        requests = self._run(server, clock, rng)
+        records = [span.to_dict() for span in tracer.finished()]
+        assert find_orphans(records) == []
+        grouped = spans_by_trace(records)
+        assert len(grouped) == len(requests)
+        for spans in grouped.values():
+            names = [s["name"] for s in spans]
+            for expected in (
+                "request",
+                "request.queue",
+                "request.batch",
+                "request.sample",
+                "request.neighbor_search",
+                "request.grouping",
+                "request.feature_compute",
+            ):
+                assert expected in names, names
+
+    def test_batch_span_links_back_to_dispatch(self, rng):
+        server, clock, tracer, _ = self._traced_server()
+        self._run(server, clock, rng)
+        records = [span.to_dict() for span in tracer.finished()]
+        dispatch_ids = {
+            r["id"]
+            for r in records
+            if r["name"] == "serving.dispatch"
+        }
+        batch_spans = [
+            r for r in records if r["name"] == "request.batch"
+        ]
+        assert batch_spans
+        for span in batch_spans:
+            links = span.get("links", [])
+            assert links, span
+            assert any(
+                link[1] in dispatch_ids for link in links
+            ), (links, dispatch_ids)
+
+    def test_latency_histogram_records_exemplars(self, rng):
+        server, clock, tracer, registry = self._traced_server()
+        self._run(server, clock, rng)
+        hist = registry.histogram(
+            "serving_request_latency_seconds",
+            buckets=REQUEST_LATENCY_BUCKETS,
+        )
+        assert hist.count == 3
+        exemplar = hist.exemplar_for_quantile(0.95)
+        assert exemplar is not None
+        trace_id, value = exemplar
+        assert trace_id.startswith("trace-r")
+        assert value > 0.0
+
+    def test_disabled_tracer_still_sets_no_trace_id(self, rng):
+        clock = FixedClock(0.0)
+        server = InferenceServer(
+            _pipeline(),
+            ServingConfig(max_batch_size=4, max_wait_ms=10.0, workers=1),
+            clock=clock,
+        )
+        request = server.submit(rng.random((N_POINTS, 3)))
+        assert request.ctx is None
+        clock.advance(0.05)
+        server.pump()
+        assert request.future.result().trace_id == ""
