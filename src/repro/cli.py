@@ -999,8 +999,15 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     """Project-aware static analysis (see docs/static_analysis.md)."""
-    from repro.lint import run_lint
+    from repro.lint import all_rules, run_lint
 
+    rules = ()
+    if args.concurrency:
+        rules = tuple(
+            rule
+            for rule in all_rules()
+            if rule.rule_id.startswith("CONC-")
+        )
     return run_lint(
         paths=args.paths or ["src"],
         output_format=args.format,
@@ -1008,7 +1015,92 @@ def cmd_lint(args: argparse.Namespace) -> int:
         fail_on=args.fail_on,
         out=args.out,
         write_baseline=args.write_baseline,
+        rules=rules,
+        jobs=args.jobs,
+        prune_baseline=args.prune_baseline,
     )
+
+
+def cmd_lockwatch(args: argparse.Namespace) -> int:
+    """Runtime lock-order sanitizer report over a threaded fleet smoke.
+
+    Builds a real-threaded replica fleet, swaps its serving locks for
+    :class:`~repro.robustness.lockwatch.LockOrderWatchdog` proxies,
+    burst-submits seeded clouds while a chaos kill/recover cycle sheds
+    one replica's backlog, then reports the observed acquisition-order
+    edges against the static CONC-502 lock-order graph.  Exits 1 on
+    any runtime order violation or static/dynamic contradiction, so
+    CI can gate on the two layers agreeing.
+    """
+    from repro.robustness.lockwatch import (
+        LockOrderWatchdog,
+        static_lock_order,
+    )
+
+    if args.replicas < 2:
+        print(
+            "lockwatch-report needs --replicas >= 2",
+            file=sys.stderr,
+        )
+        return 2
+    tracer, registry = _telemetry(args)
+    fleet = _build_fleet(args, tracer, registry)
+    watchdog = LockOrderWatchdog(
+        static_edges=static_lock_order(), metrics=registry
+    )
+    watchdog.instrument_fleet(fleet)
+    rng = np.random.default_rng(args.seed)
+    kill_at = max(1, args.requests // 2)
+    requests = []
+    with fleet:
+        for index in range(args.requests):
+            if args.chaos and index == kill_at:
+                fleet.kill_replica(0)
+            try:
+                requests.append(
+                    fleet.submit(
+                        rng.random((args.points, 3)),
+                        tenant=f"tenant-{index % 4}",
+                    )
+                )
+            except Exception as err:
+                registry.counter(
+                    "cli_request_errors_total",
+                    kind=type(err).__name__,
+                ).inc()
+        if args.chaos:
+            fleet.recover_replica(0)
+        for request in requests:
+            try:
+                request.future.result(timeout=30.0)
+            except Exception as err:
+                registry.counter(
+                    "cli_request_errors_total",
+                    kind=type(err).__name__,
+                ).inc()
+    report = watchdog.report()
+    problems = len(report.violations) + len(report.contradictions)
+    print(
+        f"lockwatch: {sum(report.acquisitions.values())} "
+        f"acquisition(s) across {len(report.acquisitions)} lock(s), "
+        f"{len(report.edges)} observed order edge(s), "
+        f"{len(report.static_edges)} static edge(s), "
+        f"{len(report.violations)} violation(s), "
+        f"{len(report.contradictions)} contradiction(s)"
+    )
+    for a, b, n in report.edges:
+        print(f"  observed: {a} -> {b} (x{n})")
+    for line in report.violations:
+        print(f"  VIOLATION: {line}", file=sys.stderr)
+    for line in report.contradictions:
+        print(f"  CONTRADICTION: {line}", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote lockwatch report -> {args.out}")
+    _export_telemetry(args, tracer, registry)
+    return 1 if problems else 0
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -1420,7 +1512,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the current findings as a new baseline and "
         "exit 0",
     )
+    lint_cmd.add_argument(
+        "--concurrency", action="store_true",
+        help="run only the whole-program concurrency rules "
+        "(CONC-5xx)",
+    )
+    lint_cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan per-file rule visits out over N threads (the "
+        "whole-program pass stays single-threaded; output is "
+        "byte-identical regardless)",
+    )
+    lint_cmd.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite --baseline in place, dropping fingerprints "
+        "that no longer fire",
+    )
     lint_cmd.set_defaults(func=cmd_lint)
+
+    lockwatch_cmd = sub.add_parser(
+        "lockwatch-report",
+        help="runtime lock-order sanitizer smoke: threaded fleet "
+        "under the LockOrderWatchdog, checked against the static "
+        "CONC-502 lock-order graph",
+    )
+    lockwatch_cmd.add_argument(
+        "--requests", type=int, default=24,
+        help="seeded clouds to burst-submit",
+    )
+    lockwatch_cmd.add_argument(
+        "--points", type=int, default=64,
+        help="points per submitted cloud",
+    )
+    lockwatch_cmd.add_argument(
+        "--chaos", action="store_true",
+        help="kill replica 0 mid-burst and recover it, shedding its "
+        "backlog through the retry path",
+    )
+    lockwatch_cmd.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON watchdog report (the CI artifact)",
+    )
+    _add_serving_flags(lockwatch_cmd)
+    lockwatch_cmd.set_defaults(func=cmd_lockwatch, replicas=3)
     return parser
 
 

@@ -12,7 +12,14 @@ only sample:
   metric names follow ``docs/observability.md`` (PR 2);
 - **ROBUST** (ROBUST-401/402) — no silently swallowed broad excepts,
   and array-returning kernels document their shape/dtype contract
-  (PR 1).
+  (PR 1);
+- **CONC** (CONC-501..505) — whole-program lock discipline for the
+  threaded serving stack: guarded attribute writes, acyclic lock
+  acquisition order, predicate-looped condition waits, workspace
+  ownership, and no blocking calls under a lock (PR 8).  Backed by
+  the cross-module :class:`~repro.lint.concurrency.ProjectContext`
+  pass and cross-validated at runtime by
+  :class:`repro.robustness.lockwatch.LockOrderWatchdog`.
 
 See ``docs/static_analysis.md`` for the rule catalog, the inline
 ``# repro: allow[RULE-ID]`` suppression syntax, and the baseline
@@ -20,6 +27,7 @@ workflow.
 """
 
 from repro.lint.baseline import Baseline
+from repro.lint.concurrency import ProjectContext
 from repro.lint.engine import (
     ModuleContext,
     PARSE_RULE_ID,
@@ -51,6 +59,7 @@ __all__ = [
     "LintReport",
     "ModuleContext",
     "PARSE_RULE_ID",
+    "ProjectContext",
     "Rule",
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",

@@ -81,6 +81,46 @@ class Baseline:
             json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
             fh.write("\n")
 
+    def audit(
+        self, findings: Iterable[Finding]
+    ) -> List[Dict[str, object]]:
+        """Entries with more allowed slots than findings that fired.
+
+        Each returned dict is the original entry plus a ``dead`` count
+        of unused slots.  Dead entries mean the underlying issue was
+        fixed (or the rule changed) but the grandfather list was never
+        trimmed — the runner warns on them and ``--prune-baseline``
+        drops them, so the baseline can only shrink over time.
+        """
+        fired = Counter(f.fingerprint for f in findings)
+        stale: List[Dict[str, object]] = []
+        for entry in self.entries:
+            fp = str(entry["fingerprint"])
+            allowed = int(entry.get("count", 1))
+            used = min(allowed, fired[fp])
+            fired[fp] -= used
+            if used < allowed:
+                dead = dict(entry)
+                dead["dead"] = allowed - used
+                stale.append(dead)
+        return stale
+
+    def prune(self, findings: Iterable[Finding]) -> "Baseline":
+        """Copy of this baseline keeping only slots that still fire."""
+        fired = Counter(f.fingerprint for f in findings)
+        pruned = Baseline(note=self.note)
+        for entry in self.entries:
+            fp = str(entry["fingerprint"])
+            allowed = int(entry.get("count", 1))
+            used = min(allowed, fired[fp])
+            fired[fp] -= used
+            if used:
+                kept = dict(entry)
+                kept["count"] = used
+                pruned.entries.append(kept)
+                pruned.counts[fp] = pruned.counts.get(fp, 0) + used
+        return pruned
+
     def split(
         self, findings: Iterable[Finding]
     ) -> Tuple[List[Finding], List[Finding]]:

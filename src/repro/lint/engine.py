@@ -16,12 +16,28 @@ layer up, in :mod:`repro.lint.runner`.
 from __future__ import annotations
 
 import ast
+import hashlib
 import os
 import re
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.concurrency import ProjectContext
 
 #: Rule id of the synthetic finding emitted for unparseable files.
 PARSE_RULE_ID = "PARSE-001"
@@ -77,6 +93,9 @@ class ModuleContext:
     lines: List[str]
     tree: ast.Module
     suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Whole-program view attached by :func:`lint_paths` /
+    #: :func:`lint_source`; cross-module rules (CONC-5xx) read it.
+    project: Optional["ProjectContext"] = None
 
     @classmethod
     def from_source(cls, path: str, source: str) -> "ModuleContext":
@@ -166,11 +185,56 @@ def all_rules() -> Tuple[Rule, ...]:
 def _load_builtin_rules() -> None:
     # Imported lazily so engine <-> rule-module imports stay acyclic.
     from repro.lint import (  # noqa: F401
+        concurrency,
         rules_det,
         rules_obs,
         rules_perf,
         rules_robust,
     )
+
+
+#: Parsed-module cache keyed on (path, content sha1).  Parsing is the
+#: dominant per-file cost; repeated runs (watch loops, the runner's
+#: collect + prune passes, tests) reuse the AST.  Entries are shared
+#: read-only; :func:`_context_for` hands out shallow copies so each
+#: run gets its own ``project`` slot.
+_CONTEXT_CACHE: Dict[Tuple[str, str], ModuleContext] = {}
+_CONTEXT_CACHE_LOCK = threading.Lock()
+_CONTEXT_CACHE_MAX = 2048
+
+
+def _context_for(path: str, source: str) -> ModuleContext:
+    digest = hashlib.sha1(source.encode("utf-8")).hexdigest()
+    key = (path.replace(os.sep, "/"), digest)
+    with _CONTEXT_CACHE_LOCK:
+        cached = _CONTEXT_CACHE.get(key)
+    if cached is None:
+        cached = ModuleContext.from_source(path, source)
+        with _CONTEXT_CACHE_LOCK:
+            if len(_CONTEXT_CACHE) >= _CONTEXT_CACHE_MAX:
+                _CONTEXT_CACHE.clear()
+            _CONTEXT_CACHE[key] = cached
+    return replace(cached, project=None)
+
+
+def _parse_finding(path: str, err: SyntaxError) -> Finding:
+    return Finding(
+        path=path.replace(os.sep, "/"),
+        line=err.lineno or 1,
+        col=(err.offset or 1) - 1,
+        rule=PARSE_RULE_ID,
+        severity="error",
+        message=f"file does not parse: {err.msg}",
+    )
+
+
+def _check_context(ctx: ModuleContext, rules: Sequence[Rule]) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    return findings
 
 
 def lint_source(
@@ -183,21 +247,11 @@ def lint_source(
     try:
         ctx = ModuleContext.from_source(path, source)
     except SyntaxError as err:
-        return [
-            Finding(
-                path=path.replace(os.sep, "/"),
-                line=err.lineno or 1,
-                col=(err.offset or 1) - 1,
-                rule=PARSE_RULE_ID,
-                severity="error",
-                message=f"file does not parse: {err.msg}",
-            )
-        ]
-    findings: List[Finding] = []
-    for rule in rules:
-        for finding in rule.check(ctx):
-            if not ctx.is_suppressed(finding):
-                findings.append(finding)
+        return [_parse_finding(path, err)]
+    from repro.lint.concurrency import ProjectContext
+
+    ctx.project = ProjectContext.build([ctx])
+    findings = _check_context(ctx, rules)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -232,12 +286,41 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
 
 
 def lint_paths(
-    paths: Iterable[str], rules: Sequence[Rule] = ()
+    paths: Iterable[str],
+    rules: Sequence[Rule] = (),
+    jobs: int = 1,
 ) -> List[Finding]:
-    """Lint every ``*.py`` file under ``paths``; sorted findings."""
+    """Lint every ``*.py`` file under ``paths``; sorted findings.
+
+    Files are parsed (through the content-hash AST cache) and the
+    whole-program :class:`ProjectContext` is built single-threaded;
+    with ``jobs > 1`` the per-file rule visits then fan out across a
+    thread pool.  The final global sort keeps the output — and every
+    fingerprint — byte-identical regardless of ``jobs``.
+    """
+    from repro.lint.concurrency import ProjectContext
+
     rules = tuple(rules) or all_rules()
     findings: List[Finding] = []
+    contexts: List[ModuleContext] = []
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules))
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            contexts.append(_context_for(path, source))
+        except SyntaxError as err:
+            findings.append(_parse_finding(path, err))
+    project = ProjectContext.build(contexts)
+    for ctx in contexts:
+        ctx.project = project
+    if jobs > 1 and len(contexts) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            for batch in pool.map(
+                lambda ctx: _check_context(ctx, rules), contexts
+            ):
+                findings.extend(batch)
+    else:
+        for ctx in contexts:
+            findings.extend(_check_context(ctx, rules))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

@@ -26,6 +26,7 @@ _SIDE_EFFECT_ATTRS = frozenset(
         "set",
         "record_trip",
         "record_pass",
+        "record_failed",
         "warning",
         "error",
         "exception",

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TextIO
 
 from repro.lint.baseline import Baseline
-from repro.lint.engine import all_rules, lint_paths
+from repro.lint.engine import Rule, all_rules, lint_paths
 from repro.lint.findings import Finding, severity_at_least
 
 REPORT_SCHEMA_VERSION = 1
@@ -28,6 +28,12 @@ class LintReport:
     findings: List[Finding] = field(default_factory=list)
     grandfathered: List[Finding] = field(default_factory=list)
     baseline_path: Optional[str] = None
+    #: Rules actually run this pass; ``None`` means the full registry.
+    rules_run: Optional[List[Rule]] = None
+    #: Baseline entries that no longer fire (see ``Baseline.audit``).
+    stale_baseline: List[Dict[str, object]] = field(
+        default_factory=list
+    )
 
     def counts(self) -> Dict[str, int]:
         out: Dict[str, int] = {"error": 0, "warning": 0}
@@ -43,33 +49,45 @@ class LintReport:
         ]
 
     def to_dict(self) -> Dict[str, object]:
+        rules = (
+            self.rules_run
+            if self.rules_run is not None
+            else all_rules()
+        )
         return {
             "schema_version": REPORT_SCHEMA_VERSION,
             "tool": "repro-lint",
             "paths": list(self.paths),
-            "rules": [rule.describe() for rule in all_rules()],
+            "rules": [rule.describe() for rule in rules],
             "findings": [f.to_dict() for f in self.findings],
             "grandfathered": [
                 f.to_dict() for f in self.grandfathered
             ],
             "counts": self.counts(),
             "baseline": self.baseline_path,
+            "stale_baseline": list(self.stale_baseline),
         }
 
 
 def collect(
-    paths: Sequence[str], baseline_path: Optional[str] = None
+    paths: Sequence[str],
+    baseline_path: Optional[str] = None,
+    rules: Sequence[Rule] = (),
+    jobs: int = 1,
 ) -> LintReport:
     """Lint ``paths`` and subtract the baseline, if given."""
-    findings = lint_paths(paths)
+    findings = lint_paths(paths, rules=rules, jobs=jobs)
     report = LintReport(
-        paths=list(paths), baseline_path=baseline_path
+        paths=list(paths),
+        baseline_path=baseline_path,
+        rules_run=list(rules) if rules else None,
     )
     if baseline_path:
         baseline = Baseline.load(baseline_path)
         report.findings, report.grandfathered = baseline.split(
             findings
         )
+        report.stale_baseline = baseline.audit(findings)
     else:
         report.findings = findings
     return report
@@ -95,6 +113,13 @@ def render_text(report: LintReport, fail_on: str) -> str:
         else ""
     )
     lines.append(summary)
+    for entry in report.stale_baseline:
+        lines.append(
+            f"warning: baseline entry {entry['fingerprint']} "
+            f"({entry['rule']}) no longer fires "
+            f"({entry['dead']} dead slot(s)); "
+            "run with --prune-baseline to drop it"
+        )
     return "\n".join(lines)
 
 
@@ -110,6 +135,9 @@ def run_lint(
     out: Optional[str] = None,
     write_baseline: Optional[str] = None,
     stream: Optional[TextIO] = None,
+    rules: Sequence[Rule] = (),
+    jobs: int = 1,
+    prune_baseline: bool = False,
 ) -> int:
     """Full lint run; returns the process exit code.
 
@@ -123,11 +151,15 @@ def run_lint(
         write_baseline: write all current findings as a new baseline
             to this path (the run then always exits 0).
         stream: output stream (defaults to ``sys.stdout``).
+        rules: optional rule subset (default: the full registry).
+        jobs: per-file rule-visit parallelism (see ``lint_paths``).
+        prune_baseline: rewrite ``baseline`` in place keeping only
+            the fingerprints that still fire.
     """
     import sys
 
     stream = stream if stream is not None else sys.stdout
-    report = collect(paths, baseline)
+    report = collect(paths, baseline, rules=rules, jobs=jobs)
     if output_format == "json":
         stream.write(render_json(report) + "\n")
     else:
@@ -135,6 +167,16 @@ def run_lint(
     if out:
         with open(out, "w", encoding="utf-8") as fh:
             fh.write(render_json(report) + "\n")
+    if prune_baseline and baseline:
+        pruned = Baseline.load(baseline).prune(
+            report.findings + report.grandfathered
+        )
+        pruned.save(baseline)
+        stream.write(
+            f"pruned baseline {baseline}: "
+            f"{len(report.stale_baseline)} dead entr(y/ies) "
+            "dropped\n"
+        )
     if write_baseline:
         Baseline.from_findings(
             report.findings + report.grandfathered,

@@ -19,29 +19,34 @@ Design notes:
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 Number = Union[int, float]
 
-_grad_enabled = True
+# Grad mode is thread-local: serving worker threads run inference
+# under ``no_grad`` concurrently, and a shared global flag would let
+# two overlapping save/restore pairs interleave so the loser's stale
+# ``previous`` wins — permanently disabling graph construction for
+# every thread (including a trainer on the main thread).
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Disable graph construction inside the block (inference mode)."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    return _grad_enabled
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -75,7 +80,7 @@ class Tensor:
     ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._parents = _parents if self.requires_grad else ()
         self._backward = _backward if self.requires_grad else None
 

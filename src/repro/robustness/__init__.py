@@ -9,7 +9,10 @@ degradation"):
   quality probes and the per-stage exact-kernel fallback with a
   circuit breaker;
 - :mod:`repro.robustness.faults` — the deterministic fault-injection
-  harness driving the robustness test matrix.
+  harness driving the robustness test matrix;
+- :mod:`repro.robustness.lockwatch` — the runtime lock-order
+  sanitizer cross-validating the serving stack against the static
+  CONC-502 lock-order graph (loaded lazily, test infrastructure).
 
 ``validate`` and ``faults`` depend only on NumPy and geometry, so
 low-level modules (``core.streaming``, the dataset loaders) may import
@@ -33,6 +36,14 @@ from repro.robustness.validate import (
     ensure_finite,
     sanitize_batch,
     sanitize_cloud,
+)
+
+_LOCKWATCH_EXPORTS = frozenset(
+    {
+        "LockOrderViolation",
+        "LockOrderWatchdog",
+        "static_lock_order",
+    }
 )
 
 _GUARD_EXPORTS = frozenset(
@@ -63,6 +74,7 @@ __all__ = [
     "standard_faults",
     "FAULT_KINDS",
     *sorted(_GUARD_EXPORTS),
+    *sorted(_LOCKWATCH_EXPORTS),
 ]
 
 
@@ -71,6 +83,12 @@ def __getattr__(name):
         from repro.robustness import guard
 
         return getattr(guard, name)
+    if name in _LOCKWATCH_EXPORTS:
+        # Lazy like guard: lockwatch pulls in the lint analyzer for
+        # the static graph, which plain validation users never need.
+        from repro.robustness import lockwatch
+
+        return getattr(lockwatch, name)
     raise AttributeError(
         f"module 'repro.robustness' has no attribute {name!r}"
     )

@@ -364,7 +364,8 @@ class ServerFleet:
                     f"{cloud.shape}"
                 )
             now = self.clock()
-            self.submitted += 1
+            with self._cond:
+                self.submitted += 1
             if self.metrics is not None:
                 self.metrics.counter(
                     "serving_fleet_submitted_total"
@@ -419,8 +420,9 @@ class ServerFleet:
                     )
                 self._reject(now, rid, refusal.reason, ctx=ctx)
                 raise refusal
-            self.accepted += 1
-            self._requests[rid] = request
+            with self._cond:
+                self.accepted += 1
+                self._requests[rid] = request
             return request
 
     def _next_id(self) -> str:
@@ -435,13 +437,14 @@ class ServerFleet:
         reason: str,
         ctx: Optional[TraceContext] = None,
     ) -> None:
-        self.submit_rejected += 1
-        self._count_reason(reason)
+        with self._cond:
+            self.submit_rejected += 1
+            self._count_reason(reason)
         if self.metrics is not None:
             self.metrics.counter(
                 "serving_fleet_rejected_total", reason=reason
             ).inc()
-        self.trace.append(
+        self._note(
             RetryEvent(
                 now,
                 rid,
@@ -470,9 +473,20 @@ class ServerFleet:
             )
 
     def _count_reason(self, reason: str) -> None:
+        """Tally one rejection reason; callers hold :attr:`_cond`."""
         self.rejection_reasons[reason] = (
             self.rejection_reasons.get(reason, 0) + 1
         )
+
+    def _note(self, event: RetryEvent) -> None:
+        """Append one decision-log row under the fleet lock.
+
+        Submitter threads (rejections) and the maintenance thread
+        (outcomes, timers) both write the trace; readers snapshot it
+        via ``list(self.trace)``.
+        """
+        with self._cond:
+            self.trace.append(event)
 
     # Routing and dispatch --------------------------------------------
 
@@ -540,7 +554,7 @@ class ServerFleet:
                 )
             except AdmissionError as err:
                 last_refusal = err
-                self.trace.append(
+                self._note(
                     RetryEvent(
                         now,
                         request.request_id,
@@ -568,12 +582,13 @@ class ServerFleet:
                 self._attempts[attempt_id] = attempt
             if hedge:
                 request.hedges += 1
-                self.hedges += 1
+                with self._cond:
+                    self.hedges += 1
                 if self.metrics is not None:
                     self.metrics.counter(
                         "serving_fleet_hedges_total"
                     ).inc()
-            self.trace.append(
+            self._note(
                 RetryEvent(
                     now,
                     request.request_id,
@@ -584,15 +599,19 @@ class ServerFleet:
                 )
             )
             if not hedge and self.config.hedge is not None:
-                delay = self.config.hedge.delay_s(
-                    list(self._attempt_latencies)
-                )
+                with self._cond:
+                    latencies = list(self._attempt_latencies)
+                delay = self.config.hedge.delay_s(latencies)
                 with self._cond:
                     self._timer_seq += 1
                     heapq.heappush(
                         self._hedge_timers,
                         (now + delay, self._timer_seq, attempt_id),
                     )
+                    # Submitter threads schedule hedges while the
+                    # maintenance thread may be parked on a longer
+                    # wait; wake it so it re-derives its deadline.
+                    self._cond.notify_all()
             serving_request.future.add_done_callback(
                 lambda fut, aid=attempt_id: self._attempt_resolved(
                     aid
@@ -715,25 +734,28 @@ class ServerFleet:
         if error is None:
             latency = max(0.0, now - attempt.submitted_s)
             replica.health.record_success(now, latency)
-            self._attempt_latencies.append(latency)
+            with self._cond:
+                self._attempt_latencies.append(latency)
             if request.future.done():
                 return  # a sibling already won
             request.winner = attempt.attempt_id
             request.future.set_result(
                 attempt.serving_request.future.result()
             )
-            self.completed += 1
+            with self._cond:
+                self.completed += 1
             if self.metrics is not None:
                 self.metrics.counter(
                     "serving_fleet_completed_total"
                 ).inc()
             if attempt.hedge:
-                self.hedge_wins += 1
+                with self._cond:
+                    self.hedge_wins += 1
                 if self.metrics is not None:
                     self.metrics.counter(
                         "serving_fleet_hedge_wins_total"
                     ).inc()
-                self.trace.append(
+                self._note(
                     RetryEvent(
                         now,
                         request.request_id,
@@ -771,11 +793,12 @@ class ServerFleet:
         replica: int,
         error: Exception,
     ) -> None:
-        self.expired += 1
-        self._count_reason("deadline")
+        with self._cond:
+            self.expired += 1
+            self._count_reason("deadline")
         if self.metrics is not None:
             self.metrics.counter("serving_fleet_expired_total").inc()
-        self.trace.append(
+        self._note(
             RetryEvent(
                 now,
                 request.request_id,
@@ -795,13 +818,14 @@ class ServerFleet:
         replica: int,
         error: Exception,
     ) -> None:
-        self.failed += 1
+        with self._cond:
+            self.failed += 1
         if self.metrics is not None:
             self.metrics.counter(
                 "serving_fleet_failed_total",
                 reason=type(error).__name__,
             ).inc()
-        self.trace.append(
+        self._note(
             RetryEvent(
                 now,
                 request.request_id,
@@ -824,14 +848,15 @@ class ServerFleet:
         replica: int,
         cause: Exception,
     ) -> None:
-        self.failed += 1
-        self._count_reason("retry_exhausted")
+        with self._cond:
+            self.failed += 1
+            self._count_reason("retry_exhausted")
         if self.metrics is not None:
             self.metrics.counter(
                 "serving_fleet_failed_total",
                 reason="retry_exhausted",
             ).inc()
-        self.trace.append(
+        self._note(
             RetryEvent(
                 now,
                 request.request_id,
@@ -871,10 +896,11 @@ class ServerFleet:
         if backoff is None:
             self._exhaust_request(request, now, replica, error)
             return
-        self.retries += 1
+        with self._cond:
+            self.retries += 1
         if self.metrics is not None:
             self.metrics.counter("serving_fleet_retries_total").inc()
-        self.trace.append(
+        self._note(
             RetryEvent(
                 now,
                 request.request_id,
@@ -903,12 +929,13 @@ class ServerFleet:
             if sibling is None or sibling.cancelled:
                 continue
             sibling.cancelled = True
-            self.hedge_cancelled += 1
+            with self._cond:
+                self.hedge_cancelled += 1
             if self.metrics is not None:
                 self.metrics.counter(
                     "serving_fleet_hedge_cancelled_total"
                 ).inc()
-            self.trace.append(
+            self._note(
                 RetryEvent(
                     now,
                     request.request_id,
@@ -974,12 +1001,13 @@ class ServerFleet:
                     ),
                 )
                 continue
-            self.retries += 1
+            with self._cond:
+                self.retries += 1
             if self.metrics is not None:
                 self.metrics.counter(
                     "serving_fleet_retries_total"
                 ).inc()
-            self.trace.append(
+            self._note(
                 RetryEvent(
                     now,
                     request.request_id,
@@ -1152,11 +1180,7 @@ class ServerFleet:
                     f"replica {index} {reason}"
                 )
             )
-        server.failed += len(pending)
-        if self.metrics is not None:
-            self.metrics.counter(
-                "serving_failed_total", reason="replica_fault"
-            ).inc(len(pending))
+        server.record_failed(len(pending), "replica_fault")
         return len(pending)
 
     # Virtual mode ----------------------------------------------------
@@ -1190,12 +1214,9 @@ class ServerFleet:
                         detail="replica_fault",
                     )
                     serving_request.future.set_exception(error)
-                replica.server.failed += batch.size
-                if self.metrics is not None:
-                    self.metrics.counter(
-                        "serving_failed_total",
-                        reason="replica_fault",
-                    ).inc(batch.size)
+                replica.server.record_failed(
+                    batch.size, "replica_fault"
+                )
                 records.append(
                     DispatchRecord(
                         dispatched_s=batch.formed_s,
@@ -1231,7 +1252,8 @@ class ServerFleet:
             for replica in self.replicas:
                 replica.server.start()
             if self._maintenance is None:
-                self._stopping = False
+                with self._cond:
+                    self._stopping = False
                 thread = threading.Thread(
                     target=self._maintenance_loop,
                     name="fleet-maintenance",
@@ -1247,9 +1269,22 @@ class ServerFleet:
                 if self._stopping and not self._resolved:
                     return
                 if not self._resolved:
-                    # Bounded wait keeps due retry/hedge timers
-                    # serviced even if a notify is missed.
-                    self._cond.wait(timeout=0.005)
+                    # Sleep until the next due retry/hedge timer, but
+                    # never longer than the bounded tick — that keeps
+                    # timers serviced even if a notify is missed, and
+                    # keeps sub-tick hedge delays honest instead of
+                    # quantizing them up to the tick.
+                    timeout = 0.005
+                    due = []
+                    if self._retries:
+                        due.append(self._retries[0][0])
+                    if self._hedge_timers:
+                        due.append(self._hedge_timers[0][0])
+                    if due:
+                        timeout = min(
+                            timeout, max(0.0, min(due) - self.clock())
+                        )
+                    self._cond.wait(timeout=timeout)
             self.service()
 
     def stop(

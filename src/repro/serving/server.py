@@ -311,8 +311,12 @@ class InferenceServer:
         model = getattr(self.pipeline, "model", None)
         if model is None:  # GuardedPipeline wraps the real pipeline
             model = self.pipeline.pipeline.model
+        # The one blocking call deliberately made under a lock: callers
+        # hold _dispatch_lock because the workspace swap mutates shared
+        # model state, so concurrent forwards would corrupt each
+        # other's scratch.  Worker forwards serialize here by design.
         with swapped_workspace(model, self._workspace()):
-            return self.pipeline.infer(xyz)
+            return self.pipeline.infer(xyz)  # repro: allow[CONC-505]
 
     def _fail_batch(
         self, batch: MicroBatch, error: Exception, reason: str
@@ -323,14 +327,26 @@ class InferenceServer:
                 self.tracer, request, now, "failed", detail=reason
             )
             request.future.set_exception(error)
-        self.failed += batch.size
-        self._count_failed(batch.size, reason)
+        self.record_failed(batch.size, reason)
 
     def _count_failed(self, count: int, reason: str) -> None:
         if self.metrics is not None:
             self.metrics.counter(
                 "serving_failed_total", reason=reason
             ).inc(count)
+
+    def record_failed(self, count: int, reason: str) -> None:
+        """Fold ``count`` terminal failures into the guarded tally.
+
+        Thread-safe by design: worker threads and the fleet's
+        maintenance thread (shedding a dead replica's backlog) all
+        account failures here, so the counter write stays under
+        ``_records_lock`` like every other ``failed``/``completed``
+        mutation.
+        """
+        with self._records_lock:
+            self.failed += count
+        self._count_failed(count, reason)
 
     def _dispatch(self, batch: MicroBatch) -> DispatchRecord:
         """Run one micro-batch and resolve its futures."""
@@ -353,16 +369,14 @@ class InferenceServer:
             degraded: Tuple[str, ...] = ()
             try:
                 with self._dispatch_lock:
-                    result = self._infer(batch.xyz)
+                    # Serialized forward by design; see _infer for the
+                    # workspace-swap rationale behind the lock.
+                    result = self._infer(batch.xyz)  # repro: allow[CONC-505]
             except Exception as err:
                 # Surface the original typed error (e.g. a
                 # CloudValidationError) on every affected future and
                 # make the failure observable before moving on.
                 ok, error_text = False, f"{type(err).__name__}: {err}"
-                if self.metrics is not None:
-                    self.metrics.counter(
-                        "serving_failed_total", reason="pipeline_error"
-                    ).inc(batch.size)
                 now = self.clock()
                 for request in batch.requests:
                     emit_request_trace(
@@ -373,7 +387,7 @@ class InferenceServer:
                         detail=type(err).__name__,
                     )
                     request.future.set_exception(err)
-                self.failed += batch.size
+                self.record_failed(batch.size, reason="pipeline_error")
             else:
                 rejected = bool(getattr(result, "rejected", False))
                 if rejected:
@@ -447,7 +461,6 @@ class InferenceServer:
                     trace_id=trace_id,
                 )
             )
-            self.completed += 1
             if registry is not None:
                 registry.counter("serving_completed_total").inc()
                 registry.histogram(
@@ -464,6 +477,8 @@ class InferenceServer:
             self._emit_request_spans(
                 request, batch, profiled, started, dispatch_span_id
             )
+        with self._records_lock:
+            self.completed += batch.size
 
     def _emit_request_spans(
         self,
@@ -656,9 +671,8 @@ class InferenceServer:
                     "server stopped without draining"
                 )
             )
-        self.failed += len(pending)
         if pending:
-            self._count_failed(len(pending), "cancelled")
+            self.record_failed(len(pending), "cancelled")
 
     def __enter__(self) -> "InferenceServer":
         return self.start()

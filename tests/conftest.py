@@ -1,9 +1,56 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.geometry import shapes
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lockwatch_sanitizer():
+    """Opt-in runtime lock-order sanitizer (``REPRO_LOCKWATCH=1``).
+
+    When enabled, every :class:`InferenceServer` and
+    :class:`ServerFleet` constructed anywhere in the suite gets its
+    serving locks swapped for :class:`LockOrderWatchdog` proxies, so
+    each threaded test doubles as a sanitizer run.  The session fails
+    at teardown if any acquisition order contradicted the static
+    CONC-502 lock-order graph (or inverted at runtime).
+    """
+    if os.environ.get("REPRO_LOCKWATCH") != "1":
+        yield None
+        return
+    from repro.robustness.lockwatch import (
+        LockOrderWatchdog,
+        static_lock_order,
+    )
+    from repro.serving.fleet import ServerFleet
+    from repro.serving.server import InferenceServer
+
+    watchdog = LockOrderWatchdog(static_edges=static_lock_order())
+    orig_server_init = InferenceServer.__init__
+    orig_fleet_init = ServerFleet.__init__
+
+    def server_init(self, *args, **kwargs):
+        orig_server_init(self, *args, **kwargs)
+        watchdog.instrument_server(self)
+
+    def fleet_init(self, *args, **kwargs):
+        orig_fleet_init(self, *args, **kwargs)
+        watchdog.instrument_fleet(self)
+
+    InferenceServer.__init__ = server_init
+    ServerFleet.__init__ = fleet_init
+    try:
+        yield watchdog
+    finally:
+        InferenceServer.__init__ = orig_server_init
+        ServerFleet.__init__ = orig_fleet_init
+    # After restoring the constructors: fail the session loudly if
+    # anything was observed out of order.
+    watchdog.check()
 
 
 @pytest.fixture

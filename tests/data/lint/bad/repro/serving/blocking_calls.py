@@ -1,0 +1,21 @@
+"""Known-bad fixture for CONC-505: a queue read and a sleep both run
+while holding the drain mutex, stalling every contending thread."""
+
+import threading
+import time
+
+
+class PacedDrain:
+    """Drains a source queue at a fixed pace into a local list."""
+
+    def __init__(self, source_queue) -> None:
+        self.drain_lock = threading.Lock()
+        self.source_queue = source_queue
+        self.drained = []
+
+    def drain_one(self) -> None:
+        with self.drain_lock:
+            # CONC-505 (x2): both calls block under drain_lock.
+            item = self.source_queue.get(timeout=0.5)
+            time.sleep(0.01)
+            self.drained.append(item)

@@ -1,0 +1,24 @@
+"""Known-bad fixture for CONC-503: a Condition.wait() guarded by a
+single if — a spurious wakeup or stolen notify returns stale state."""
+
+import threading
+
+
+class HandoffSlot:
+    """Single-value rendezvous between a producer and a consumer."""
+
+    def __init__(self) -> None:
+        self.slot_ready = threading.Condition()
+        self.payload = None
+
+    def put(self, value) -> None:
+        with self.slot_ready:
+            self.payload = value
+            self.slot_ready.notify_all()
+
+    def take(self):
+        with self.slot_ready:
+            if self.payload is None:
+                # CONC-503: needs 'while self.payload is None:'.
+                self.slot_ready.wait(0.1)
+            return self.payload

@@ -1,0 +1,20 @@
+"""Known-bad fixture for CONC-501: a shared counter written both
+under its mutex and bare, so one path races the other."""
+
+import threading
+
+
+class ShardTally:
+    """Per-shard completion tally behind a dedicated mutex."""
+
+    def __init__(self) -> None:
+        self._state_lock = threading.Lock()
+        self.finished = 0
+
+    def mark_finished(self) -> None:
+        with self._state_lock:
+            self.finished += 1
+
+    def reset_between_runs(self) -> None:
+        # CONC-501: every other write holds _state_lock.
+        self.finished = 0

@@ -1,0 +1,50 @@
+"""Known-bad fixture for CONC-502: a two-lock acquisition cycle
+(forward takes ingest then flush, backward takes flush then ingest)
+plus a plain Lock re-acquired through a helper on the same thread."""
+
+import threading
+
+
+class IngestSide:
+    def __init__(self) -> None:
+        self.ingest_lock = threading.Lock()
+
+
+class FlushSide:
+    def __init__(self) -> None:
+        self.flush_lock = threading.Lock()
+
+
+class CrossCoupler:
+    """Couples the two sides with inconsistent lock ordering."""
+
+    def __init__(self) -> None:
+        self.ingest = IngestSide()
+        self.flush = FlushSide()
+
+    def forward(self) -> None:
+        with self.ingest.ingest_lock:
+            with self.flush.flush_lock:
+                pass
+
+    def backward(self) -> None:
+        # CONC-502: reverse of forward()'s order — deadlock window.
+        with self.flush.flush_lock:
+            with self.ingest.ingest_lock:
+                pass
+
+
+class DoubleTaker:
+    """Re-enters its own non-reentrant mutex through a helper."""
+
+    def __init__(self) -> None:
+        self.serial_lock = threading.Lock()
+
+    def outer(self) -> None:
+        with self.serial_lock:
+            self._restack()
+
+    def _restack(self) -> None:
+        # CONC-502: a plain Lock deadlocks against its own thread.
+        with self.serial_lock:
+            pass

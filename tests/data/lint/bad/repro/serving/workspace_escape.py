@@ -1,0 +1,16 @@
+"""Known-bad fixture for CONC-504: a Workspace minted in serving code
+without an ownership claim, free to leak across worker threads."""
+
+from repro.core.workspace import Workspace
+
+
+class ScratchPool:
+    """Hands out per-request scratch buffers."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+
+    def lease(self, n_points: int):
+        # CONC-504: unowned scratch escapes to the caller's thread.
+        scratch = Workspace(n_points)
+        return scratch

@@ -1,0 +1,21 @@
+"""Known-good fixture for CONC-505: the blocking queue read and the
+pacing sleep both happen outside the mutex, which only guards the
+shared list mutation."""
+
+import threading
+import time
+
+
+class PacedDrain:
+    """Drains a source queue at a fixed pace into a local list."""
+
+    def __init__(self, source_queue) -> None:
+        self.drain_lock = threading.Lock()
+        self.source_queue = source_queue
+        self.drained = []
+
+    def drain_one(self) -> None:
+        item = self.source_queue.get(timeout=0.5)
+        time.sleep(0.01)
+        with self.drain_lock:
+            self.drained.append(item)

@@ -1,0 +1,23 @@
+"""Known-good fixture for CONC-503: the wait sits inside a predicate
+re-check loop, so wakeups are re-validated before proceeding."""
+
+import threading
+
+
+class HandoffSlot:
+    """Single-value rendezvous between a producer and a consumer."""
+
+    def __init__(self) -> None:
+        self.slot_ready = threading.Condition()
+        self.payload = None
+
+    def put(self, value) -> None:
+        with self.slot_ready:
+            self.payload = value
+            self.slot_ready.notify_all()
+
+    def take(self):
+        with self.slot_ready:
+            while self.payload is None:
+                self.slot_ready.wait(0.1)
+            return self.payload

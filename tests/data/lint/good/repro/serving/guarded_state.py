@@ -1,0 +1,20 @@
+"""Known-good fixture for CONC-501: every write to the shared
+counter happens under the same mutex."""
+
+import threading
+
+
+class ShardTally:
+    """Per-shard completion tally behind a dedicated mutex."""
+
+    def __init__(self) -> None:
+        self._state_lock = threading.Lock()
+        self.finished = 0
+
+    def mark_finished(self) -> None:
+        with self._state_lock:
+            self.finished += 1
+
+    def reset_between_runs(self) -> None:
+        with self._state_lock:
+            self.finished = 0

@@ -1,0 +1,48 @@
+"""Known-good fixture for CONC-502: both paths take the two locks in
+the same order, and the helper runs after its caller releases."""
+
+import threading
+
+
+class IngestSide:
+    def __init__(self) -> None:
+        self.ingest_lock = threading.Lock()
+
+
+class FlushSide:
+    def __init__(self) -> None:
+        self.flush_lock = threading.Lock()
+
+
+class CrossCoupler:
+    """Couples the two sides with one global lock order."""
+
+    def __init__(self) -> None:
+        self.ingest = IngestSide()
+        self.flush = FlushSide()
+
+    def forward(self) -> None:
+        with self.ingest.ingest_lock:
+            with self.flush.flush_lock:
+                pass
+
+    def backward(self) -> None:
+        with self.ingest.ingest_lock:
+            with self.flush.flush_lock:
+                pass
+
+
+class DoubleTaker:
+    """Acquires its mutex once per call, never nested."""
+
+    def __init__(self) -> None:
+        self.serial_lock = threading.Lock()
+
+    def outer(self) -> None:
+        with self.serial_lock:
+            pass
+        self._restack()
+
+    def _restack(self) -> None:
+        with self.serial_lock:
+            pass

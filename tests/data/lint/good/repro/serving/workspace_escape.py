@@ -1,0 +1,17 @@
+"""Known-good fixture for CONC-504: the freshly minted Workspace is
+claimed before it leaves the function, so any foreign-thread access
+raises WorkspaceOwnershipError instead of corrupting scratch."""
+
+from repro.core.workspace import Workspace
+
+
+class ScratchPool:
+    """Hands out per-request scratch buffers."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+
+    def lease(self, n_points: int):
+        scratch = Workspace(n_points)
+        scratch.claim_owner("lease")
+        return scratch
