@@ -34,8 +34,16 @@ from repro.core.neighbor import MortonNeighborSearch, window_ranks
 from repro.core.sampler import MortonSampler
 from repro.core.structurize import MortonOrder
 from repro.core.workspace import Workspace
-from repro.neighbors.batched import knn_batch
-from repro.sampling.fps import farthest_point_sample_batch
+from repro.neighbors.batched import (
+    ball_query_batch,
+    ball_query_grid_batch,
+    knn_batch,
+    knn_grid_batch,
+)
+from repro.sampling.fps import (
+    farthest_point_sample_batch,
+    farthest_point_sample_fast_batch,
+)
 from repro.sampling.uniform import uniform_stride_indices
 
 SCHEMA_VERSION = 1
@@ -218,22 +226,149 @@ def run_suite(
     }
 
 
-def format_results(results: Dict[str, object]) -> str:
-    """Human-readable table of one suite run."""
-    params = results["params"]
+#: Default point counts for the large-N exact-engine suite.  The CI
+#: ratio gate (``repro bench --suite large-n``) keys off the 40960
+#: entry; 8192 sits just above the dispatch threshold and 102400 shows
+#: the asymptotic trend.
+LARGE_N_SIZES = (8192, 40960, 102400)
+
+#: Query-ball radius for the large-N ball-query pair.  On the suite's
+#: unit-Gaussian clouds this yields roughly ``k`` points per ball at
+#: N=40960, matching the first SA level's paper-scale workload.
+LARGE_N_RADIUS = 0.1
+
+
+def run_large_n_suite(
+    sizes: tuple = LARGE_N_SIZES,
+    k: int = 16,
+    repeats: int = 2,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Time the large-N exact fast engines against the brute kernels.
+
+    For each cloud size ``N`` (one unit-Gaussian cloud, ``N // 16``
+    FPS picks and kNN / ball queries): the pruning-FPS and grid
+    neighbor engines versus the production brute kernels they displace
+    above :attr:`~repro.core.pipeline.EdgePCConfig.exact_fast_threshold`.
+    Both sides return bit-identical indices (asserted here on every
+    run), so the ratio is a pure like-for-like speedup.
+
+    Returns a ``{"params", "kernels"}`` section dict; kernels are keyed
+    ``"<op>/<N>"`` with ``brute_s`` / ``fast_s`` / ``speedup``.
+    """
+    sizes = tuple(int(n) for n in sizes)
+    if not sizes or any(n < 64 for n in sizes):
+        raise ValueError("sizes must be point counts >= 64")
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    if k < 1:
+        raise ValueError("k must be positive")
+    rng = np.random.default_rng(seed)
+    workspace = Workspace()
+    kernels: Dict[str, Dict[str, float]] = {}
+    for n_points in sizes:
+        pts = rng.normal(size=(1, n_points, 3))
+        num_fps = max(1, n_points // 16)
+        queries = pts[:, uniform_stride_indices(n_points, num_fps)]
+
+        def fps_fast():
+            return farthest_point_sample_fast_batch(
+                pts, num_fps, start_index=0
+            )
+
+        def fps_brute():
+            return farthest_point_sample_batch(
+                pts, num_fps, start_index=0
+            )
+
+        def grid_knn():
+            return knn_grid_batch(queries, pts, k, workspace=workspace)
+
+        def brute_knn():
+            return knn_batch(queries, pts, k, workspace)
+
+        def grid_ball():
+            return ball_query_grid_batch(
+                queries, pts, LARGE_N_RADIUS, k, workspace=workspace
+            )
+
+        def brute_ball():
+            return ball_query_batch(
+                queries, pts, LARGE_N_RADIUS, k, workspace
+            )
+
+        for op, fast_fn, brute_fn in (
+            ("fps_fast", fps_fast, fps_brute),
+            ("knn_grid", grid_knn, brute_knn),
+            ("ball_query_grid", grid_ball, brute_ball),
+        ):
+            fast_out = fast_fn()  # warm up pools; keep for identity
+            brute_out = brute_fn()
+            if not np.array_equal(fast_out, brute_out):
+                raise AssertionError(
+                    f"{op} diverged from brute at N={n_points}"
+                )
+            fast_s = _best_of(fast_fn, repeats)
+            brute_s = _best_of(brute_fn, repeats)
+            kernels[f"{op}/{n_points}"] = {
+                "fast_s": fast_s,
+                "brute_s": brute_s,
+                "speedup": brute_s / fast_s,
+            }
+    return {
+        "params": {
+            "sizes": list(sizes),
+            "k": k,
+            "repeats": repeats,
+            "seed": seed,
+            "radius": LARGE_N_RADIUS,
+        },
+        "kernels": kernels,
+    }
+
+
+def format_large_n_results(section: Dict[str, object]) -> str:
+    """Human-readable table of one large-N suite section."""
+    params = section["params"]
     lines = [
-        "batched kernel suite "
-        f"(B={params['batch']}, N={params['points']}, "
-        f"k={params['k']}, best of {params['repeats']})",
-        f"{'kernel':<16}{'batched':>12}{'looped':>12}{'speedup':>10}",
+        "large-N exact-engine suite "
+        f"(sizes={params['sizes']}, k={params['k']}, "
+        f"best of {params['repeats']})",
+        f"{'kernel':<24}{'fast':>12}{'brute':>12}{'speedup':>10}",
     ]
-    for name, entry in results["kernels"].items():
+    for name, entry in section["kernels"].items():
         lines.append(
-            f"{name:<16}"
-            f"{entry['batched_s'] * 1e3:>10.2f}ms"
-            f"{entry['looped_s'] * 1e3:>10.2f}ms"
+            f"{name:<24}"
+            f"{entry['fast_s'] * 1e3:>10.2f}ms"
+            f"{entry['brute_s'] * 1e3:>10.2f}ms"
             f"{entry['speedup']:>9.1f}x"
         )
+    return "\n".join(lines)
+
+
+def format_results(results: Dict[str, object]) -> str:
+    """Human-readable tables of one suite run (both sections)."""
+    lines: List[str] = []
+    if "kernels" in results:
+        params = results["params"]
+        lines += [
+            "batched kernel suite "
+            f"(B={params['batch']}, N={params['points']}, "
+            f"k={params['k']}, best of {params['repeats']})",
+            f"{'kernel':<16}{'batched':>12}"
+            f"{'looped':>12}{'speedup':>10}",
+        ]
+        for name, entry in results["kernels"].items():
+            lines.append(
+                f"{name:<16}"
+                f"{entry['batched_s'] * 1e3:>10.2f}ms"
+                f"{entry['looped_s'] * 1e3:>10.2f}ms"
+                f"{entry['speedup']:>9.1f}x"
+            )
+    if "large_n" in results:
+        if lines:
+            lines.append("")
+        lines.append(format_large_n_results(results["large_n"]))
     return "\n".join(lines)
 
 
@@ -248,21 +383,43 @@ def compare_with_baseline(
     ``baseline_speedup * (1 - tolerance)``, or when it disappears from
     the suite.  Returns one message per regression; empty means the
     gate passes.
+
+    Each section (``kernels``, ``large_n``) is gated only when the
+    current run produced it, so a ``--suite large-n`` smoke run can be
+    checked against the full committed baseline.  Within ``large_n``,
+    baseline entries for sizes the current run did not request (its
+    ``params.sizes``) are skipped — the suite is size-parameterized and
+    CI gates a subset.
     """
     if not 0 <= tolerance < 1:
         raise ValueError("tolerance must be in [0, 1)")
-    problems: List[str] = []
-    current_kernels = current.get("kernels", {})
-    for name, entry in baseline.get("kernels", {}).items():
+
+    def check(name, entry, current_kernels, prefix=""):
         if name not in current_kernels:
-            problems.append(f"{name}: missing from current suite")
-            continue
+            problems.append(
+                f"{prefix}{name}: missing from current suite"
+            )
+            return
         floor = entry["speedup"] * (1.0 - tolerance)
         got = current_kernels[name]["speedup"]
         if got < floor:
             problems.append(
-                f"{name}: speedup {got:.2f}x fell below "
+                f"{prefix}{name}: speedup {got:.2f}x fell below "
                 f"{floor:.2f}x (baseline {entry['speedup']:.2f}x "
                 f"- {tolerance:.0%} tolerance)"
             )
+
+    problems: List[str] = []
+    if "kernels" in current:
+        current_kernels = current.get("kernels", {})
+        for name, entry in baseline.get("kernels", {}).items():
+            check(name, entry, current_kernels)
+    if "large_n" in current:
+        section = current["large_n"]
+        sizes = {int(n) for n in section["params"]["sizes"]}
+        base = baseline.get("large_n", {})
+        for name, entry in base.get("kernels", {}).items():
+            if int(name.rsplit("/", 1)[1]) not in sizes:
+                continue
+            check(name, entry, section.get("kernels", {}), "large_n/")
     return problems

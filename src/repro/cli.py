@@ -524,18 +524,33 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     """Batched-vs-looped kernel micro-benchmarks with a CI gate."""
     from repro.bench import (
+        SCHEMA_VERSION,
         compare_with_baseline,
         format_results,
+        run_large_n_suite,
         run_suite,
     )
 
-    results = run_suite(
-        batch=args.batch,
-        points=args.points,
-        k=args.k,
-        repeats=args.repeats,
-        seed=args.seed,
-    )
+    if args.suite in ("kernels", "all"):
+        results = run_suite(
+            batch=args.batch,
+            points=args.points,
+            k=args.k,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    else:
+        results = {
+            "schema_version": SCHEMA_VERSION,
+            "bench": "batched_kernels",
+        }
+    if args.suite in ("large-n", "all"):
+        results["large_n"] = run_large_n_suite(
+            sizes=tuple(args.sizes),
+            k=args.k,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
     print(format_results(results))
     if args.out:
         with open(args.out, "w") as fh:
@@ -1260,6 +1275,18 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="time batched kernels vs per-cloud loops; optionally "
         "gate against a committed baseline",
+    )
+    bench_cmd.add_argument(
+        "--suite", choices=("kernels", "large-n", "all"),
+        default="kernels",
+        help="which suite to run: the batched-vs-looped kernel pairs, "
+        "the large-N exact fast engines, or both (default kernels)",
+    )
+    bench_cmd.add_argument(
+        "--sizes", type=int, nargs="+", metavar="N",
+        default=[8192, 40960, 102400],
+        help="cloud sizes for --suite large-n/all "
+        "(default 8192 40960 102400)",
     )
     bench_cmd.add_argument(
         "--batch", type=int, default=8,

@@ -57,6 +57,13 @@ class EdgePCConfig:
             into the channel dimension of the feature-compute convs
             (Sec. 5.4.1); raises tensor-core utilization at equal
             FLOPs, at a small approximation cost.
+        exact_fast_threshold: point count at and above which the exact
+            stages (FPS / kNN / ball query) run the pruning/grid fast
+            engines instead of the brute kernels.  The fast engines
+            return bit-identical results, so this is purely a
+            performance dispatch — it matters most when the guard
+            degrades a large-N batch to exact kernels.  Small inputs
+            keep brute: its fixed overhead is lower.
     """
 
     code_bits: int = morton.DEFAULT_CODE_BITS
@@ -74,6 +81,7 @@ class EdgePCConfig:
     use_tensor_cores: bool = False
     sorted_grouping: bool = False
     fc_merge_factor: int = 1
+    exact_fast_threshold: int = 8192
 
     def __post_init__(self) -> None:
         morton.bits_per_axis(self.code_bits)
@@ -83,6 +91,8 @@ class EdgePCConfig:
             raise ValueError("reuse_distance must be non-negative")
         if self.fc_merge_factor < 1:
             raise ValueError("fc_merge_factor must be >= 1")
+        if self.exact_fast_threshold < 1:
+            raise ValueError("exact_fast_threshold must be >= 1")
         object.__setattr__(
             self, "sample_layers", _as_layer_set(self.sample_layers)
         )
@@ -153,6 +163,17 @@ class EdgePCConfig:
         if k < 1:
             raise ValueError("k must be positive")
         return self.window_multiplier * k
+
+    def exact_engine_for(self, num_points: int) -> str:
+        """Which exact engine a stage should run at ``num_points``:
+        ``"fast"`` (pruning FPS / grid neighbor search) at or above
+        :attr:`exact_fast_threshold`, else ``"brute"``.  Both engines
+        are bit-identical; the choice is purely about speed."""
+        if num_points < 0:
+            raise ValueError("num_points must be non-negative")
+        if num_points >= self.exact_fast_threshold:
+            return "fast"
+        return "brute"
 
     def reuse_policy(self) -> NeighborReusePolicy:
         return NeighborReusePolicy(reuse_distance=self.reuse_distance)

@@ -280,15 +280,29 @@ def exact_interpolate(
     sampled_indices = np.asarray(sampled_indices)
     sampled_features = np.asarray(sampled_features, dtype=np.float64)
     sampled_xyz = points[sampled_indices]
-    d2 = (
-        np.sum(points**2, axis=1)[:, None]
-        - 2.0 * points @ sampled_xyz.T
-        + np.sum(sampled_xyz**2, axis=1)[None, :]
-    )
-    np.maximum(d2, 0.0, out=d2)
     k = min(num_anchors, sampled_xyz.shape[0])
-    pick = np.argsort(d2, axis=1, kind="stable")[:, :k]
-    rows = np.arange(points.shape[0])[:, None]
-    inv = 1.0 / np.maximum(d2[rows, pick], 1e-10)
-    weights = inv / inv.sum(axis=1, keepdims=True)
-    return np.einsum("nac,na->nc", sampled_features[pick], weights)
+    s_sq = np.sum(sampled_xyz**2, axis=1)[None, :]
+    out = np.empty(
+        (points.shape[0], sampled_features.shape[1]), dtype=np.float64
+    )
+    # Tile the query axis so a large-N cloud never materializes the
+    # full (N, n) distance matrix; clouds at or below the chunk size
+    # take a single tile spanning every row, unchanged from the
+    # untiled expression.
+    chunk = 4096
+    for lo in range(0, points.shape[0], chunk):
+        block = points[lo : lo + chunk]
+        d2 = (
+            np.sum(block**2, axis=1)[:, None]
+            - 2.0 * block @ sampled_xyz.T
+            + s_sq
+        )
+        np.maximum(d2, 0.0, out=d2)
+        pick = np.argsort(d2, axis=1, kind="stable")[:, :k]
+        rows = np.arange(block.shape[0])[:, None]
+        inv = 1.0 / np.maximum(d2[rows, pick], 1e-10)
+        weights = inv / inv.sum(axis=1, keepdims=True)
+        out[lo : lo + chunk] = np.einsum(
+            "nac,na->nc", sampled_features[pick], weights
+        )
+    return out

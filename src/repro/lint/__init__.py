@@ -3,8 +3,10 @@
 An AST-based rule engine enforcing the invariants the test suite can
 only sample:
 
-- **PERF** (PERF-101/102/103) — Morton kernels in ``repro.core`` /
-  ``repro.nn`` stay O(W) and vectorized (paper Secs. 5.1-5.2);
+- **PERF** (PERF-101..105) — Morton kernels in ``repro.core`` /
+  ``repro.nn`` stay O(W) and vectorized (paper Secs. 5.1-5.2), and
+  the exact sampler / neighbor packages never materialize a full
+  pairwise distance matrix outside a chunk loop (PR 9);
 - **DET** (DET-201/202) — randomness flows through seeded
   ``np.random.default_rng`` generators and wall-clock reads through
   the :mod:`repro.observability.clock` shim (paper Sec. 5.3, PR 1);

@@ -273,6 +273,128 @@ class PerBatchLoopRule(Rule):
                 )
 
 
+#: Packages whose kernels must never materialize a full pairwise
+#: distance matrix: the exact samplers and neighbor engines, where a
+#: broadcast ``(N, M)`` intermediate at 40k+ points is exactly the
+#: memory blow-up the chunked / grid fast paths exist to avoid.
+PAIRWISE_PACKAGES: Tuple[str, ...] = (
+    "repro.core.",
+    "repro.sampling.",
+    "repro.neighbors.",
+)
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.MatMult)
+
+
+def in_pairwise_kernel(module: str) -> bool:
+    """True for modules the pairwise-broadcast rule polices."""
+    if module in NON_KERNEL_MODULES:
+        return False
+    return any(module.startswith(pkg) for pkg in PAIRWISE_PACKAGES)
+
+
+def _is_none_index(node: ast.AST) -> bool:
+    """``None`` literal or ``np.newaxis``-style attribute."""
+    if isinstance(node, ast.Constant) and node.value is None:
+        return True
+    return isinstance(node, ast.Attribute) and node.attr == "newaxis"
+
+
+def _broadcast_axis(node: ast.AST) -> str:
+    """Classify a subscript's inserted broadcast axis.
+
+    ``x[:, None]`` (axis appended after real data) -> ``"trail"``;
+    ``y[None, :]`` (axis prepended) -> ``"lead"``; anything else ->
+    ``""``.  The trail/lead pair is the outer-product shape that turns
+    two ``(N,)``/``(M,)`` operands into an ``(N, M)`` matrix.
+    """
+    if not isinstance(node, ast.Subscript):
+        return ""
+    index = node.slice
+    if not isinstance(index, ast.Tuple) or len(index.elts) < 2:
+        return ""
+    head, tail = index.elts[0], index.elts[-1]
+    if _is_none_index(head) and not _is_none_index(tail):
+        return "lead"
+    if _is_none_index(tail) and not _is_none_index(head):
+        return "trail"
+    return ""
+
+
+def _is_chunk_stride_loop(node: ast.AST) -> bool:
+    """A ``for lo in range(start, stop[, step])`` tile loop — the
+    chunking idiom that bounds a pairwise block's row count."""
+    return (
+        isinstance(node, ast.For)
+        and isinstance(node.iter, ast.Call)
+        and isinstance(node.iter.func, ast.Name)
+        and node.iter.func.id == "range"
+        and len(node.iter.args) >= 2
+    )
+
+
+def _is_arith_binop(node: ast.AST) -> bool:
+    return isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH_OPS)
+
+
+def _matches_pairwise_broadcast(root: ast.BinOp) -> bool:
+    """True when the arithmetic tree under ``root`` both subtracts and
+    combines a trailing-``None`` operand with a leading-``None`` one —
+    the ``a[:, None] - b[None, :]`` / matmul-expansion shape whose
+    result spans every (query, candidate) pair at once."""
+    has_sub = False
+    axes = set()
+    for node in ast.walk(root):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+            has_sub = True
+        axis = _broadcast_axis(node)
+        if axis:
+            axes.add(axis)
+    return has_sub and axes == {"lead", "trail"}
+
+
+@register
+class PairwiseBroadcastRule(Rule):
+    """PERF-105: an unchunked full pairwise-distance broadcast."""
+
+    rule_id = "PERF-105"
+    severity = "warning"
+    title = "full pairwise-distance broadcast without a chunk bound"
+    rationale = (
+        "Broadcasting queries against candidates in one expression "
+        "materializes the whole (N, M) distance matrix — ~13 GB for "
+        "a 40k self-query — where the chunked tile loops and the "
+        "grid engine keep peak memory at a workspace-sized block. "
+        "Tile the query axis with a strided range() loop (see "
+        "neighbors.batched._distance_chunks) or use the grid kernels."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not in_pairwise_kernel(ctx.module):
+            return
+        yield from self._scan(ctx, ctx.tree, chunked=False)
+
+    def _scan(
+        self, ctx: ModuleContext, node: ast.AST, chunked: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            inside_chunk = chunked or _is_chunk_stride_loop(child)
+            if not inside_chunk and _is_arith_binop(child):
+                if _matches_pairwise_broadcast(child):
+                    yield ctx.finding(
+                        self,
+                        child,
+                        "pairwise broadcast materializes the full "
+                        "(N, M) distance matrix; bound the query "
+                        "axis with a strided range() chunk loop or "
+                        "route through the grid engine",
+                    )
+                # Either way this maximal arithmetic tree is decided;
+                # its sub-expressions must not re-match.
+                continue
+            yield from self._scan(ctx, child, inside_chunk)
+
+
 def _calls_in_any_loop(tree: ast.AST) -> Iterator[ast.Call]:
     """Call nodes inside at least one loop body, each yielded once
     (loop headers excluded)."""

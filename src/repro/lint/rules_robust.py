@@ -38,8 +38,16 @@ _SIDE_EFFECT_ATTRS = frozenset(
 _BROAD_NAMES = ("Exception", "BaseException")
 
 #: Packages whose array-returning public functions must document
-#: their shape/dtype contract.
-CONTRACT_PACKAGES = ("repro.core", "repro.geometry")
+#: their shape/dtype contract.  The exact sampler / neighbor-engine
+#: packages joined when the large-N fast engines landed: their
+#: bit-identity guarantees only mean something if every kernel's
+#: output shape and dtype are pinned in the docstring.
+CONTRACT_PACKAGES = (
+    "repro.core",
+    "repro.geometry",
+    "repro.sampling",
+    "repro.neighbors",
+)
 
 _SHAPE_HINT = re.compile(
     r"\bshape\b|\bscalar\b|\b[0-9]-d\b|\(\s*[a-z0-9*.]+\s*,"

@@ -23,6 +23,12 @@ from typing import Iterator, Optional, Tuple
 import numpy as np
 
 from repro.core.workspace import Workspace
+from repro.neighbors.grid import (
+    GridQueryStats,
+    UniformGridIndex,
+    canonical_top_k,
+    suggest_cell_size,
+)
 
 
 def _validate_batch(
@@ -105,9 +111,10 @@ def knn_batch(
             default-budget :class:`Workspace` when omitted.
 
     Returns:
-        ``(B, Q, k)`` int64 candidate indices sorted by ascending
-        distance, bit-identical to looping
-        :func:`repro.neighbors.brute.knn` per cloud.
+        ``(B, Q, k)`` int64 candidate indices in the canonical
+        ``(distance, candidate index)`` order of
+        :func:`repro.neighbors.grid.canonical_top_k`, bit-identical to
+        looping :func:`repro.neighbors.brute.knn` per cloud.
     """
     queries, candidates = _validate_batch(queries, candidates, k)
     workspace = workspace or Workspace()
@@ -117,18 +124,7 @@ def knn_batch(
     # argpartition materializes a full-width int64 index block.
     extra = num_clouds * num_candidates * 8
     for lo, d2 in _distance_chunks(queries, candidates, workspace, extra):
-        if k < num_candidates:
-            part = np.argpartition(d2, k - 1, axis=2)[:, :, :k]
-        else:
-            part = np.broadcast_to(
-                np.arange(num_candidates), d2.shape
-            ).copy()
-        order = np.argsort(
-            np.take_along_axis(d2, part, axis=2), axis=2, kind="stable"
-        )
-        out[:, lo : lo + d2.shape[1]] = np.take_along_axis(
-            part, order, axis=2
-        )
+        out[:, lo : lo + d2.shape[1]] = canonical_top_k(d2, k)
     return out
 
 
@@ -183,4 +179,184 @@ def ball_query_batch(
         out[:, lo : lo + d2.shape[1]] = np.where(
             counts[:, :, None] > 0, padded, nearest[:, :, None]
         )
+    return out
+
+
+def _validate_grid_batch(
+    queries: np.ndarray, candidates: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    queries, candidates = _validate_batch(queries, candidates, k)
+    if queries.shape[2] != 3:
+        raise ValueError(
+            "grid kernels index Euclidean xyz space; expected "
+            f"(B, Q, 3) queries, got {queries.shape}"
+        )
+    return queries, candidates
+
+
+def knn_grid_batch(
+    queries: np.ndarray,
+    candidates: np.ndarray,
+    k: int,
+    workspace: Optional[Workspace] = None,
+    cell_size: Optional[float] = None,
+    stats: Optional[GridQueryStats] = None,
+) -> np.ndarray:
+    """Exact k-nearest neighbors via a uniform-grid cell list.
+
+    The large-N exact engine: bins each cloud's candidates into a
+    sparse cell list and probes expanding cell rings per query
+    (:meth:`repro.neighbors.grid.UniformGridIndex.query_knn_batch`),
+    so the scan touches ``O(k)`` candidates per query instead of all
+    ``N`` and the transient scratch stays inside the workspace budget
+    — no ``(Q, N)`` block is ever materialized.  xyz-space only
+    (``D == 3``); feature-space kNN keeps :func:`knn_batch`.
+
+    Matches :func:`knn_batch` row for row — including exact distance
+    ties, which both engines break by ascending candidate index.
+    (Candidates whose distances are *computed* differently by the two
+    engines' accumulation orders can differ only when two true
+    distances land within one rounding step of each other.)
+
+    Args:
+        queries: ``(B, Q, 3)`` query points.
+        candidates: ``(B, N, 3)`` candidate points.
+        k: neighbors per query (``1 <= k <= N``).
+        workspace: scratch pool carrying the tiling budget; a fresh
+            default-budget :class:`Workspace` when omitted.
+        cell_size: grid cell side; auto-sized per cloud via
+            :func:`repro.neighbors.grid.suggest_cell_size` when
+            omitted.
+        stats: optional :class:`~repro.neighbors.grid.GridQueryStats`
+            scan accounting, accumulated across the batch.
+
+    Returns:
+        ``(B, Q, k)`` int64 candidate indices in canonical
+        ``(distance, index)`` order per row.
+    """
+    queries, candidates = _validate_grid_batch(queries, candidates, k)
+    workspace = workspace or Workspace()
+    num_clouds, num_queries, _ = queries.shape
+    out = np.empty((num_clouds, num_queries, k), dtype=np.int64)
+    for b in range(num_clouds):
+        cell = (
+            cell_size
+            if cell_size is not None
+            else suggest_cell_size(candidates[b], k)
+        )
+        index = UniformGridIndex(candidates[b], cell)
+        out[b] = index.query_knn_batch(
+            queries[b], k, workspace=workspace, stats=stats
+        )
+    return out
+
+
+def ball_query_grid_batch(
+    queries: np.ndarray,
+    candidates: np.ndarray,
+    radius: float,
+    k: int,
+    workspace: Optional[Workspace] = None,
+    cell_size: Optional[float] = None,
+    stats: Optional[GridQueryStats] = None,
+) -> np.ndarray:
+    """Fixed-width ball query via a uniform-grid cell list.
+
+    Grid counterpart of :func:`ball_query_batch` with identical
+    output semantics: up to ``k`` in-radius candidate indices per
+    query in candidate-scan (ascending index) order, short rows padded
+    with the first hit, empty balls filled with the nearest candidate.
+    Only the cells overlapping each query's radius are scanned, tiled
+    through the workspace scratch pool.
+
+    Args:
+        queries: ``(B, Q, 3)`` query points.
+        candidates: ``(B, N, 3)`` candidate points.
+        radius: ball radius (``> 0``).
+        k: maximum neighbors per query (``1 <= k <= N``).
+        workspace: scratch pool carrying the tiling budget; a fresh
+            default-budget :class:`Workspace` when omitted.
+        cell_size: grid cell side; defaults to ``radius`` so one ring
+            of cells covers the ball.
+        stats: optional :class:`~repro.neighbors.grid.GridQueryStats`
+            scan accounting, accumulated across the batch.
+
+    Returns:
+        ``(B, Q, k)`` int64 candidate indices, matching
+        :func:`ball_query_batch` (same rounding caveat as
+        :func:`knn_grid_batch` for radius-boundary candidates).
+    """
+    queries, candidates = _validate_grid_batch(queries, candidates, k)
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    workspace = workspace or Workspace()
+    r2 = radius * radius
+    num_clouds, num_queries, _ = queries.shape
+    out = np.empty((num_clouds, num_queries, k), dtype=np.int64)
+    pad_width = np.arange(k)
+    for b in range(num_clouds):
+        cloud_q = queries[b]
+        cloud_c = candidates[b]
+        cell = cell_size if cell_size is not None else float(radius)
+        index = UniformGridIndex(cloud_c, cell)
+        reach = int(np.ceil(radius / index.cell_size))
+        q_sq = np.sum(cloud_q[None] ** 2, axis=2)[0]
+        base_cells = np.floor(
+            (cloud_q - index.origin) / index.cell_size
+        ).astype(np.int64)
+        starts, ends = index._ring_runs(base_cells, reach)
+        if stats is not None:
+            stats.num_queries += num_queries
+            stats.rounds += 1
+            stats.cells_probed += int(starts.shape[0] * starts.shape[1])
+        # Order rows by candidate count so padded tiles stay tight
+        # (see UniformGridIndex.query_knn_batch).
+        row_order = np.argsort(
+            (ends - starts).sum(axis=1), kind="stable"
+        )
+        empties = []
+        for lo, ids, d2, _totals in index._score_rows(
+            cloud_q[row_order],
+            q_sq[row_order],
+            starts[row_order],
+            ends[row_order],
+            workspace,
+            stats,
+        ):
+            inside = d2 <= r2  # pad lanes are +inf -> excluded
+            counts = inside.sum(axis=1)
+            # Hits first, each group in ascending candidate index —
+            # the candidate-scan order of the reference kernel.
+            order = np.lexsort((ids, ~inside), axis=-1)[:, :k]
+            first = np.take_along_axis(ids, order, axis=-1)
+            if first.shape[1] < k:
+                # Ring narrower than k slots: the missing columns are
+                # beyond every row's hit count and pad like the rest.
+                first = np.concatenate(
+                    [
+                        first,
+                        np.broadcast_to(
+                            first[:, :1],
+                            (first.shape[0], k - first.shape[1]),
+                        ),
+                    ],
+                    axis=1,
+                )
+            padded = np.where(
+                pad_width < counts[:, None], first, first[:, :1]
+            )
+            # Empty rows get a placeholder; the 1-NN fallback below
+            # overwrites them.
+            padded = np.where(counts[:, None] > 0, padded, 0)
+            out[b, row_order[lo : lo + d2.shape[0]]] = padded
+            empty_rows = np.flatnonzero(counts == 0)
+            if empty_rows.size:
+                empties.append(row_order[lo + empty_rows])
+        if empties:
+            # Empty balls fall back to the global nearest candidate —
+            # a 1-NN query (ties by index, matching np.argmin).
+            empty_idx = np.concatenate(empties)
+            out[b, empty_idx] = index.query_knn_batch(
+                cloud_q[empty_idx], 1, workspace=workspace, stats=stats
+            )
     return out

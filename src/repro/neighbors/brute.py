@@ -45,7 +45,8 @@ def knn(
     Thin ``B=1`` wrapper over
     :func:`repro.neighbors.batched.knn_batch`.
 
-    Returns ``(Q, k)`` candidate indices sorted by ascending distance.
+    Returns ``(Q, k)`` int64 candidate indices sorted by ascending
+    distance.
     """
     queries, candidates = _validate(queries, candidates, k)
     return knn_batch(queries[None], candidates[None], k)[0]
@@ -66,6 +67,8 @@ def ball_query(
 
     Thin ``B=1`` wrapper over
     :func:`repro.neighbors.batched.ball_query_batch`.
+
+    Returns ``(Q, k)`` int64 candidate indices.
     """
     queries, candidates = _validate(queries, candidates, k)
     return ball_query_batch(queries[None], candidates[None], radius, k)[0]

@@ -82,7 +82,8 @@ class KDTree:
     # Queries ----------------------------------------------------------
 
     def query(self, point: np.ndarray, k: int = 1) -> np.ndarray:
-        """Indices of the ``k`` nearest stored points, ascending distance."""
+        """Indices of the ``k`` nearest stored points: a ``(k,)``
+        int64 array, ascending distance."""
         point = np.asarray(point, dtype=np.float64)
         if point.shape != (3,):
             raise ValueError("query point must be a 3-vector")
@@ -95,12 +96,14 @@ class KDTree:
         return np.array([idx for _, idx in ordered], dtype=np.int64)
 
     def query_batch(self, queries: np.ndarray, k: int = 1) -> np.ndarray:
-        """Vector of :meth:`query` calls; returns ``(Q, k)`` indices."""
+        """Vector of :meth:`query` calls; returns ``(Q, k)`` int64
+        indices."""
         queries = np.asarray(queries, dtype=np.float64)
         return np.stack([self.query(q, k) for q in queries])
 
     def query_radius(self, point: np.ndarray, radius: float) -> np.ndarray:
-        """All stored indices within ``radius`` of ``point`` (unsorted)."""
+        """All stored indices within ``radius`` of ``point``: a 1-D
+        int64 array in ascending index order."""
         point = np.asarray(point, dtype=np.float64)
         if radius <= 0:
             raise ValueError("radius must be positive")

@@ -114,8 +114,8 @@ class ZOrderApproxNN:
     # Queries --------------------------------------------------------------
 
     def query(self, point: np.ndarray, k: int) -> np.ndarray:
-        """k (1+eps)-approximate nearest original-point indices,
-        sorted by ascending distance."""
+        """k (1+eps)-approximate nearest original-point indices: a
+        ``(k,)`` int64 array sorted by ascending distance."""
         point = np.asarray(point, dtype=np.float64)
         if point.shape != (3,):
             raise ValueError("query point must be a 3-vector")
@@ -173,5 +173,7 @@ class ZOrderApproxNN:
         return np.array([idx for _, idx in best], dtype=np.int64)
 
     def query_batch(self, queries: np.ndarray, k: int) -> np.ndarray:
+        """Vector of :meth:`query` calls over ``(Q, 3)`` queries;
+        returns ``(Q, k)`` int64 indices."""
         queries = np.asarray(queries, dtype=np.float64)
         return np.stack([self.query(q, k) for q in queries])

@@ -27,7 +27,8 @@ from repro.core.neighbor import MortonNeighborSearch
 from repro.core.pipeline import EdgePCConfig
 from repro.core.reuse import NeighborCache
 from repro.core.workspace import Workspace
-from repro.neighbors.batched import knn_batch
+from repro.neighbors.batched import knn_batch, knn_grid_batch
+from repro.neighbors.grid import GridQueryStats
 from repro.nn.autograd import Tensor, concatenate
 from repro.nn.functional import edge_features, max_pool_neighbors
 from repro.nn.layers import Dropout, Linear, Module, shared_mlp
@@ -110,12 +111,31 @@ class EdgeConv(Module):
                 else features.data
             )
             dim = space.shape[2]
-            out = knn_batch(space, space, self.k, self.workspace)
-            recorder.record(
-                STAGE_NEIGHBOR, "knn", self.layer_index,
-                n_queries=n_points, n_candidates=n_points,
-                k=self.k, dim=dim, batch=batch,
-            )
+            if (
+                dim == 3
+                and self.edgepc.exact_engine_for(n_points) == "fast"
+            ):
+                # Large-N exact path: grid cell-list kNN (xyz space
+                # only — feature-space graphs are high-dimensional).
+                stats = GridQueryStats()
+                out = knn_grid_batch(
+                    space, space, self.k,
+                    workspace=self.workspace, stats=stats,
+                )
+                recorder.record(
+                    STAGE_NEIGHBOR, "knn_grid", self.layer_index,
+                    n_queries=n_points, n_candidates=n_points,
+                    k=self.k, dim=dim, batch=batch,
+                    pairs_scanned=stats.pairs_scanned / batch,
+                    rounds=stats.rounds,
+                )
+            else:
+                out = knn_batch(space, space, self.k, self.workspace)
+                recorder.record(
+                    STAGE_NEIGHBOR, "knn", self.layer_index,
+                    n_queries=n_points, n_candidates=n_points,
+                    k=self.k, dim=dim, batch=batch,
+                )
         cache.store(out)
         return out
 

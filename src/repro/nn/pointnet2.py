@@ -31,7 +31,11 @@ from repro.core.sampler import (
     exact_interpolate,
 )
 from repro.core.workspace import Workspace
-from repro.neighbors.batched import ball_query_batch
+from repro.neighbors.batched import (
+    ball_query_batch,
+    ball_query_grid_batch,
+)
+from repro.neighbors.grid import GridQueryStats
 from repro.nn.autograd import Tensor, concatenate
 from repro.nn.functional import (
     gather_points,
@@ -48,7 +52,11 @@ from repro.nn.recorder import (
     NullRecorder,
     StageRecorder,
 )
-from repro.sampling.fps import farthest_point_sample_batch
+from repro.sampling.fps import (
+    FastFpsStats,
+    farthest_point_sample_batch,
+    farthest_point_sample_fast_batch,
+)
 
 
 @dataclass(frozen=True)
@@ -165,6 +173,21 @@ class SetAbstraction(Module):
                 STAGE_SAMPLE, "uniform_pick", self.layer_index,
                 n_samples=n_out, batch=batch,
             )
+        elif self.edgepc.exact_engine_for(n_points) == "fast":
+            # Large-N exact path: pruning FPS, bit-identical picks.
+            result = None
+            stats = FastFpsStats()
+            indices = farthest_point_sample_fast_batch(
+                xyz, n_out, start_index=0, stats=stats
+            )
+            recorder.record(
+                STAGE_SAMPLE, "fps_fast", self.layer_index,
+                n_points=n_points, n_samples=n_out, batch=batch,
+                points_scanned=stats.points_scanned / batch,
+                blocks_applied=stats.block_updates_applied / batch,
+                blocks_pruned=stats.block_updates_pruned / batch,
+                worst_case=stats.worst_case / batch,
+            )
         else:
             result = None
             indices = farthest_point_sample_batch(
@@ -209,6 +232,23 @@ class SetAbstraction(Module):
             recorder.record(
                 STAGE_NEIGHBOR, "morton_window", self.layer_index,
                 n_queries=n_out, window=window, k=k, batch=batch,
+            )
+        elif self.edgepc.exact_engine_for(n_points) == "fast":
+            # Large-N exact path: grid cell-list ball query, identical
+            # output rows.
+            centers = np.take_along_axis(
+                xyz, sampled[:, :, None], axis=1
+            )
+            stats = GridQueryStats()
+            out = ball_query_grid_batch(
+                centers, xyz, self.config.radius, k,
+                workspace=self.workspace, stats=stats,
+            )
+            recorder.record(
+                STAGE_NEIGHBOR, "ball_query_grid", self.layer_index,
+                n_queries=n_out, n_candidates=n_points, k=k, batch=batch,
+                pairs_scanned=stats.pairs_scanned / batch,
+                rounds=stats.rounds,
             )
         else:
             centers = np.take_along_axis(

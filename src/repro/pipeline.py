@@ -250,6 +250,7 @@ class EdgePCPipeline:
             registry.counter("neighbor_reuse_hits_total").inc(
                 reuse_hits
             )
+        self._record_exact_fast_metrics(registry, recorder)
         registry.counter("pipeline_batches_total").inc()
         registry.counter("pipeline_clouds_total").inc(batch)
         for stage, seconds in (
@@ -271,6 +272,41 @@ class EdgePCPipeline:
             energy.total_j
         )
         self._record_workspace_metrics(registry)
+
+    def _record_exact_fast_metrics(
+        self,
+        registry: MetricsRegistry,
+        recorder: StageRecorder,
+    ) -> None:
+        """Export fast exact-engine effectiveness (large-N fallback).
+
+        Each fast-engine event contributes one observation to the
+        ``exact_fast_scan_ratio`` histogram — the fraction of the brute
+        kernel's all-pairs work the pruning / grid probe actually
+        performed — and pruned-FPS events also increment the
+        ``exact_fast_blocks_pruned_total`` counter.
+        """
+        for event in recorder:
+            c = event.counts
+            batch = c.get("batch", 1)
+            if event.op == "fps_fast":
+                pruned = c.get("blocks_pruned", 0.0) * batch
+                if pruned:
+                    registry.counter(
+                        "exact_fast_blocks_pruned_total"
+                    ).inc(pruned)
+                worst = c.get("worst_case", 0.0)
+                scanned = c.get("points_scanned", 0.0)
+                ratio = scanned / worst if worst else 1.0
+            elif event.op in ("knn_grid", "ball_query_grid"):
+                worst = c["n_queries"] * c["n_candidates"]
+                scanned = c.get("pairs_scanned", 0.0)
+                ratio = scanned / worst if worst else 1.0
+            else:
+                continue
+            registry.histogram(
+                "exact_fast_scan_ratio", op=event.op
+            ).observe(ratio)
 
     def _record_workspace_metrics(
         self, registry: MetricsRegistry

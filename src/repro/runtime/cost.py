@@ -32,8 +32,20 @@ from typing import Dict
 from repro.nn.recorder import StageEvent
 from repro.runtime.device import DeviceSpec
 
-#: The SOTA kernels EdgePC replaces.
-EXACT_OPS = frozenset({"fps", "ball_query", "knn", "interp_exact"})
+#: The SOTA kernels EdgePC replaces.  The ``*_fast`` / ``*_grid``
+#: variants are the same exact math behind pruning / cell-list
+#: dispatch, so they belong to the exact family too.
+EXACT_OPS = frozenset(
+    {
+        "fps",
+        "fps_fast",
+        "ball_query",
+        "ball_query_grid",
+        "knn",
+        "knn_grid",
+        "interp_exact",
+    }
+)
 
 #: EdgePC's approximate kernels.
 APPROX_OPS = frozenset(
@@ -62,6 +74,27 @@ class CostModel:
             + c["n_points"] / self.device.fps_distance_rate
         )
         return c.get("batch", 1) * per_element
+
+    def _price_fps_fast(self, c: Dict[str, float]) -> float:
+        # Same serial pick chain as brute FPS, but only the distance
+        # evaluations the pruning bound could not skip are paid.
+        per_element = (
+            c["n_samples"] * self.device.fps_step_overhead_s
+            + c["points_scanned"] / self.device.fps_distance_rate
+        )
+        return c.get("batch", 1) * per_element
+
+    def _price_grid_query(self, c: Dict[str, float]) -> float:
+        # Cell-list build (a stable sort over small linearized cell
+        # keys — far cheaper per key than the 60-bit Morton comparison
+        # sort that ``sort_rate`` models) plus only the pairs the
+        # expanding-ring probe actually scored.
+        n = c["n_candidates"]
+        build = (
+            n * max(1.0, math.log2(max(n, 2))) / self.device.morton_rate
+        )
+        scan = c["pairs_scanned"] / self.device.brute_distance_rate
+        return c.get("batch", 1) * (build + scan)
 
     def _price_pairwise(self, c: Dict[str, float]) -> float:
         dim_factor = max(1.0, c.get("dim", 3) / 3.0)
@@ -139,8 +172,12 @@ class CostModel:
         op = event.op
         if op == "fps":
             return self._price_fps(c)
+        if op == "fps_fast":
+            return self._price_fps_fast(c)
         if op in ("ball_query", "knn"):
             return self._price_pairwise(c)
+        if op in ("ball_query_grid", "knn_grid"):
+            return self._price_grid_query(c)
         if op == "interp_exact":
             return self._price_interp_exact(c)
         if op == "morton_gen":

@@ -1,9 +1,12 @@
 """Baseline (exact) samplers and sampling-quality metrics."""
 
 from repro.sampling.fps import (
+    FastFpsStats,
     coverage_radius,
     farthest_point_sample,
     farthest_point_sample_batch,
+    farthest_point_sample_fast,
+    farthest_point_sample_fast_batch,
     fps_operation_count,
 )
 from repro.sampling.quality import (
@@ -24,6 +27,9 @@ from repro.sampling.uniform import (
 __all__ = [
     "farthest_point_sample",
     "farthest_point_sample_batch",
+    "farthest_point_sample_fast",
+    "farthest_point_sample_fast_batch",
+    "FastFpsStats",
     "fps_operation_count",
     "coverage_radius",
     "uniform_sample",

@@ -21,6 +21,9 @@ def uniform_stride_indices(num_points: int, num_samples: int) -> np.ndarray:
     positions rather than points — callers map the positions through
     whatever ordering they want (identity for raw clouds, the Morton
     permutation for structurized ones).
+
+    Returns an ``(n,)`` int64 array of strictly increasing positions
+    in ``[0, N)``.
     """
     if num_points < 1:
         raise ValueError("num_points must be positive")
@@ -34,7 +37,8 @@ def uniform_stride_indices(num_points: int, num_samples: int) -> np.ndarray:
 
 
 def uniform_sample(points: np.ndarray, num_samples: int) -> np.ndarray:
-    """Stride-sample a raw ``(N, 3)`` cloud; returns indices."""
+    """Stride-sample a raw ``(N, 3)`` cloud; returns an
+    ``(num_samples,)`` int64 index array."""
     points = np.asarray(points)
     return uniform_stride_indices(points.shape[0], num_samples)
 
@@ -44,7 +48,9 @@ def random_sample(
     num_samples: int,
     rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
-    """Sample ``num_samples`` distinct indices uniformly at random."""
+    """Sample ``num_samples`` distinct indices uniformly at random;
+    returns an int64 array of shape ``(num_samples,)``, sorted
+    ascending."""
     points = np.asarray(points)
     n_points = points.shape[0]
     if not 1 <= num_samples <= n_points:

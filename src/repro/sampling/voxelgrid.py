@@ -30,8 +30,9 @@ def voxel_grid_sample(
     The representative is the point closest to its voxel's centroid
     (the Open3D convention, approximated per-voxel).
 
-    Returns indices sorted ascending; the output count equals the
-    number of occupied voxels and cannot be chosen directly.
+    Returns a 1-D int64 index array sorted ascending; the output
+    count equals the number of occupied voxels and cannot be chosen
+    directly.
     """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[1] != 3:

@@ -1,0 +1,17 @@
+"""Known-bad pairwise kernels: PERF-105 must fire (twice)."""
+
+import numpy as np
+
+
+def nearest_sample_distance(points, sampled):
+    d = np.linalg.norm(points[:, None] - sampled[None, :], axis=2)
+    return d.min(axis=1)
+
+
+def pairwise_d2(points, sampled):
+    d2 = (
+        np.sum(points**2, axis=1)[:, None]
+        - 2.0 * points @ sampled.T
+        + np.sum(sampled**2, axis=1)[None, :]
+    )
+    return np.maximum(d2, 0.0)

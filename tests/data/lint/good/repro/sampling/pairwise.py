@@ -1,0 +1,27 @@
+"""Chunk-bounded pairwise kernels: silent under PERF-105."""
+
+import numpy as np
+
+_CHUNK = 4096
+
+
+def nearest_sample_distance(points, sampled):
+    out = np.empty(points.shape[0], dtype=np.float64)
+    for lo in range(0, points.shape[0], _CHUNK):
+        block = points[lo : lo + _CHUNK]
+        d = np.linalg.norm(block[:, None] - sampled[None, :], axis=2)
+        out[lo : lo + _CHUNK] = d.min(axis=1)
+    return out
+
+
+def pairwise_d2_rows(points, sampled, out):
+    s_sq = np.sum(sampled**2, axis=1)[None, :]
+    for lo in range(0, points.shape[0], _CHUNK):
+        block = points[lo : lo + _CHUNK]
+        d2 = (
+            np.sum(block**2, axis=1)[:, None]
+            - 2.0 * block @ sampled.T
+            + s_sq
+        )
+        out[lo : lo + _CHUNK] = np.maximum(d2, 0.0)
+    return out

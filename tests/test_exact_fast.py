@@ -1,0 +1,340 @@
+"""Large-N exact fast engines (PR 9): identity, dispatch, pricing.
+
+The pruning FPS and grid neighbor engines promise *bit-identical*
+results to the brute kernels they displace above
+``EdgePCConfig.exact_fast_threshold``.  These tests pin that promise
+property-style (duplicated points, integer lattices, Morton-sorted
+clouds, block-width boundaries), check the dispatch wiring end to end
+(models, guard breaker, metrics, cost model), and bound the grid
+path's memory to a workspace-sized footprint at 40k points.
+"""
+
+import tracemalloc
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import EdgePCConfig
+from repro.core.structurize import structurize
+from repro.core.workspace import Workspace
+from repro.neighbors.batched import (
+    ball_query_batch,
+    ball_query_grid_batch,
+    knn_batch,
+    knn_grid_batch,
+)
+from repro.neighbors.grid import GridQueryStats, suggest_cell_size
+from repro.nn.pointnet2 import PointNet2Classifier, SAConfig
+from repro.nn.recorder import StageEvent
+from repro.observability.metrics import MetricsRegistry
+from repro.pipeline import EdgePCPipeline
+from repro.robustness.guard import GuardedPipeline, GuardThresholds
+from repro.runtime.cost import EXACT_OPS, CostModel
+from repro.runtime.device import xavier
+from repro.sampling.fps import (
+    FastFpsStats,
+    farthest_point_sample,
+    farthest_point_sample_fast,
+    farthest_point_sample_fast_batch,
+)
+
+
+def _cloud(seed: int, n: int, mode: str) -> np.ndarray:
+    """Adversarial clouds: ties and degeneracy on purpose."""
+    rng = np.random.default_rng(seed)
+    if mode == "random":
+        return rng.normal(size=(n, 3))
+    if mode == "duplicated":
+        base = rng.normal(size=(max(2, n // 4), 3))
+        return base[rng.integers(base.shape[0], size=n)]
+    if mode == "lattice":
+        return rng.integers(0, 8, size=(n, 3)).astype(np.float64)
+    if mode == "morton_sorted":
+        pts = rng.normal(size=(n, 3))
+        return pts[structurize(pts).permutation]
+    raise AssertionError(mode)
+
+
+CLOUD_MODES = ("random", "duplicated", "lattice", "morton_sorted")
+
+
+class TestFastFpsIdentity:
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(17, 400),
+        mode=st.sampled_from(CLOUD_MODES),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_byte_identical_to_reference(self, seed, n, mode):
+        pts = _cloud(seed, n, mode)
+        num = max(1, n // 3)
+        ref = farthest_point_sample(pts, num, start_index=0)
+        fast = farthest_point_sample_fast(pts, num, start_index=0)
+        assert fast.tobytes() == ref.tobytes()
+
+    @pytest.mark.parametrize("n", [15, 16, 17, 31, 32, 33, 48, 64])
+    def test_block_width_boundaries(self, n):
+        pts = _cloud(7, n, "duplicated")
+        ref = farthest_point_sample(pts, n, start_index=0)
+        fast = farthest_point_sample_fast(pts, n, start_index=0)
+        assert np.array_equal(fast, ref)
+
+    def test_batch_accumulates_stats(self, rng):
+        pts = rng.normal(size=(3, 256, 3))
+        stats = FastFpsStats()
+        out = farthest_point_sample_fast_batch(
+            pts, 64, start_index=0, stats=stats
+        )
+        assert out.shape == (3, 64)
+        assert stats.num_points == 3 * 256
+        assert stats.num_samples == 3 * 64
+        assert 0 < stats.points_scanned <= stats.worst_case
+        assert 0.0 < stats.scan_fraction <= 1.0
+
+
+class TestGridIdentity:
+    # "duplicated" Gaussian clouds are excluded here: BLAS rounds the
+    # d2 expansion differently per candidate column (~1e-16 jitter on
+    # exact duplicates), so the brute kernel's own tie order among
+    # coincident points is unspecified.  Integer lattices keep the
+    # expansion exact, so duplicates tie-break canonically by index in
+    # both engines and are covered below.
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(32, 500),
+        k=st.integers(1, 24),
+        mode=st.sampled_from(("random", "lattice", "morton_sorted")),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_knn_grid_matches_brute(self, seed, n, k, mode):
+        pts = _cloud(seed, n, mode)[None]
+        k = min(k, n)
+        brute = knn_batch(pts, pts, k)
+        grid = knn_grid_batch(pts, pts, k)
+        assert grid.tobytes() == brute.tobytes()
+
+    @given(
+        seed=st.integers(0, 2**16),
+        n=st.integers(32, 400),
+        k=st.integers(1, 12),
+        radius=st.sampled_from([1.0, 2.0, 3.5]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ball_grid_matches_brute(self, seed, n, k, radius):
+        # Integer lattices make distances exact, so near-tie rounding
+        # cannot differ between engines; ties are everywhere instead.
+        pts = _cloud(seed, n, "lattice")[None]
+        rng = np.random.default_rng(seed + 1)
+        queries = pts[:, rng.integers(n, size=max(1, n // 4))]
+        brute = ball_query_batch(queries, pts, radius, k)
+        grid = ball_query_grid_batch(queries, pts, radius, k)
+        assert grid.tobytes() == brute.tobytes()
+
+    def test_stats_accounting(self, rng):
+        pts = rng.normal(size=(1, 512, 3))
+        stats = GridQueryStats()
+        knn_grid_batch(pts, pts, 8, stats=stats)
+        assert stats.num_queries == 512
+        # The grid engine's whole point: scan fewer pairs than Q * N.
+        assert 0 < stats.pairs_scanned < 512 * 512
+        assert stats.rounds >= 1
+
+    def test_suggest_cell_size_degenerate(self):
+        coincident = np.zeros((64, 3))
+        assert suggest_cell_size(coincident, 8) == 1.0
+        flat = np.zeros((64, 3))
+        flat[:, 0] = np.linspace(0.0, 4.0, 64)
+        assert suggest_cell_size(flat, 8) > 0.0
+
+
+class TestGridMemoryBudget:
+    def test_40k_knn_stays_workspace_sized(self, rng):
+        # Brute would materialize 2560 x 40960 float64 tiles chunked
+        # by the workspace; the grid path must also stay bounded — far
+        # under the ~840 MB an unchunked (Q, N) matrix would take.
+        pts = rng.normal(size=(1, 40960, 3))
+        queries = pts[:, ::16]
+        workspace = Workspace()
+        knn_grid_batch(queries, pts, 16, workspace=workspace)  # warm
+        tracemalloc.start()
+        knn_grid_batch(queries, pts, 16, workspace=workspace)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak < 64 * 1024 * 1024
+
+
+class TestConfigDispatch:
+    def test_exact_engine_for(self):
+        config = EdgePCConfig(exact_fast_threshold=1000)
+        assert config.exact_engine_for(999) == "brute"
+        assert config.exact_engine_for(1000) == "fast"
+        assert config.exact_engine_for(0) == "brute"
+        with pytest.raises(ValueError):
+            config.exact_engine_for(-1)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            EdgePCConfig(exact_fast_threshold=0)
+
+    def test_default_threshold_keeps_small_inputs_brute(self):
+        config = EdgePCConfig.baseline()
+        assert config.exact_engine_for(1024) == "brute"
+        assert config.exact_engine_for(40960) == "fast"
+
+
+class TestModelWiring:
+    def test_fast_engines_bit_identical_logits(self, rng):
+        xyz = rng.normal(size=(2, 1024, 3))
+        fast_cfg = replace(
+            EdgePCConfig.baseline(), exact_fast_threshold=64
+        )
+        sa = (SAConfig(0.25, 16, 0.2, (8, 8)),)
+        fast_model = PointNet2Classifier(
+            num_classes=4, sa_configs=sa, edgepc=fast_cfg
+        )
+        brute_model = PointNet2Classifier(
+            num_classes=4, sa_configs=sa, edgepc=EdgePCConfig.baseline()
+        )
+        brute_model.load_state_dict(fast_model.state_dict())
+        fast_res = EdgePCPipeline(fast_model).infer(xyz)
+        brute_res = EdgePCPipeline(brute_model).infer(xyz)
+        assert "fps_fast" in fast_res.stage_ops
+        assert "ball_query_grid" in fast_res.stage_ops
+        assert "fps" in brute_res.stage_ops
+        assert fast_res.logits.tobytes() == brute_res.logits.tobytes()
+
+    def test_exact_fast_metrics_emitted(self, rng):
+        xyz = rng.normal(size=(1, 512, 3))
+        cfg = replace(EdgePCConfig.baseline(), exact_fast_threshold=64)
+        model = PointNet2Classifier(
+            num_classes=4,
+            sa_configs=(SAConfig(0.25, 8, 0.2, (8,)),),
+            edgepc=cfg,
+        )
+        registry = MetricsRegistry()
+        EdgePCPipeline(model, metrics=registry).infer(xyz)
+        rendered = registry.to_prometheus()
+        assert "exact_fast_blocks_pruned_total" in rendered
+        assert 'exact_fast_scan_ratio_bucket{op="fps_fast"' in rendered
+        assert (
+            'exact_fast_scan_ratio_bucket{op="ball_query_grid"'
+            in rendered
+        )
+
+
+class TestGuardRoutesThroughFastEngine:
+    def test_breaker_trip_at_40k_uses_fast_exact_kernels(self, rng):
+        # A 40960-point stream whose probes always trip: the guard
+        # degrades sampling + neighbor search to exact kernels, and
+        # those exact kernels must be the fast engines — the breaker
+        # being pinned open no longer implies brute O(N^2) latency.
+        xyz = rng.normal(size=(1, 40960, 3))
+        model = PointNet2Classifier(
+            num_classes=4,
+            sa_configs=(SAConfig(0.0625, 16, 0.1, (8,)),),
+            edgepc=EdgePCConfig.paper_default(),
+        )
+        registry = MetricsRegistry()
+        pipeline = EdgePCPipeline(model, metrics=registry)
+        guard = GuardedPipeline(
+            pipeline,
+            thresholds=GuardThresholds(
+                max_density_cv=1e-9,
+                max_false_neighbor_rate=1e-9,
+                trip_limit=1,
+            ),
+        )
+        first = guard.infer(xyz)
+        assert not first.rejected
+        assert first.degradations
+        ops = first.result.stage_ops
+        assert "fps_fast" in ops and "fps" not in ops
+        assert "ball_query_grid" in ops and "ball_query" not in ops
+        second = guard.infer(xyz)
+        assert not second.rejected
+        assert "fps_fast" in second.result.stage_ops
+        assert "open" in guard.breaker_states.values()
+        rendered = registry.to_prometheus()
+        assert "exact_fast_blocks_pruned_total" in rendered
+        assert "exact_fast_scan_ratio" in rendered
+
+
+class TestCostModelPricing:
+    def _model(self):
+        return CostModel(xavier())
+
+    def test_new_ops_are_exact_family(self):
+        assert {"fps_fast", "knn_grid", "ball_query_grid"} <= EXACT_OPS
+
+    def test_fps_fast_cheaper_when_pruned(self):
+        model = self._model()
+        brute = StageEvent(
+            "sample", "fps", 0,
+            {"n_points": 40960, "n_samples": 2560, "batch": 1},
+        )
+        pruned = StageEvent(
+            "sample", "fps_fast", 0,
+            {
+                "n_points": 40960,
+                "n_samples": 2560,
+                "batch": 1,
+                # ~3% of the worst case, as measured at 40k.
+                "points_scanned": 0.03 * 40960 * 2560,
+            },
+        )
+        assert model.price(pruned) < model.price(brute)
+
+    def test_grid_query_scales_with_pairs_scanned(self):
+        model = self._model()
+
+        def event(pairs):
+            return StageEvent(
+                "neighbor_search", "knn_grid", 0,
+                {
+                    "n_queries": 2560,
+                    "n_candidates": 40960,
+                    "k": 16,
+                    "batch": 2,
+                    "pairs_scanned": pairs,
+                },
+            )
+
+        cheap = model.price(event(1e5))
+        costly = model.price(event(1e7))
+        assert 0 < cheap < costly
+        brute = StageEvent(
+            "neighbor_search", "knn", 0,
+            {
+                "n_queries": 2560,
+                "n_candidates": 40960,
+                "k": 16,
+                "batch": 2,
+            },
+        )
+        # At the measured ~3% scan fraction the grid op must price
+        # below the all-pairs kernel it displaces.
+        grid = model.price(event(0.03 * 2560 * 40960))
+        assert grid < model.price(brute)
+
+    def test_ball_query_grid_priced(self):
+        model = self._model()
+        event = StageEvent(
+            "neighbor_search", "ball_query_grid", 0,
+            {
+                "n_queries": 2560,
+                "n_candidates": 40960,
+                "k": 16,
+                "batch": 1,
+                "pairs_scanned": 3e6,
+            },
+        )
+        assert model.price(event) > 0
+
+    def test_unknown_op_still_raises(self):
+        with pytest.raises(ValueError):
+            self._model().price(
+                StageEvent("sample", "warp_drive", 0, {})
+            )

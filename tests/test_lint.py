@@ -37,6 +37,7 @@ FIXTURES = {
     "PERF-102": ("repro/core/fake_kernel.py", 2),
     "PERF-103": ("repro/core/fake_kernel.py", 1),
     "PERF-104": ("repro/nn/batch_loops.py", 2),
+    "PERF-105": ("repro/sampling/pairwise.py", 2),
     "DET-201": ("repro/sim/randomness.py", 3),
     "DET-202": ("repro/sim/timed.py", 2),
     "OBS-301": ("repro/sim/pipelines.py", 2),
@@ -90,6 +91,12 @@ class TestPerRuleFixtures:
 
     def test_good_tree_is_fully_clean(self):
         assert lint_paths([str(GOOD)]) == []
+
+    def test_pairwise_rule_only_applies_in_exact_packages(self):
+        # PERF-105 polices the exact sampler / neighbor kernels; the
+        # same broadcast elsewhere (e.g. repro.runtime) is not flagged.
+        source = (BAD / "repro/sampling/pairwise.py").read_text()
+        assert lint_source("repro/runtime/pairwise.py", source) == []
 
 
 class TestServingFixtures:
