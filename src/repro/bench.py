@@ -327,6 +327,135 @@ def run_large_n_suite(
     }
 
 
+#: Default scene sizes for the partition suite.  The CI ratio gate
+#: (``repro bench --suite partition``) keys off these entries; they
+#: are deliberately modest — the suite *prices* the monolithic run
+#: instead of executing it, so small scenes already exercise the full
+#: scatter/price/project path.
+PARTITION_SIZES = (25_000, 50_000)
+
+#: Default chunk core budget for the partition suite (a chunk batch
+#: is ``chunk_points`` plus halo and padding context).
+PARTITION_CHUNK_POINTS = 4096
+
+#: Default halo width (== the bench model's receptive field, the sum
+#: of its SA radii) for the partition suite.
+PARTITION_HALO_WIDTH = 0.12
+
+
+def run_partition_suite(
+    sizes: tuple = PARTITION_SIZES,
+    chunk_points: int = PARTITION_CHUNK_POINTS,
+    halo_width: float = PARTITION_HALO_WIDTH,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Price chunked scene execution against the monolithic projection.
+
+    For each scene size ``N``: a tiled-room scene is partitioned into
+    Morton chunks, one representative chunk batch is *recorded*
+    through a scene-tuned PointNet++ pipeline, and
+    :func:`repro.partition.price_partition` projects both sides on the
+    device cost model.  Unlike the wall-clock suites, every number
+    here is deterministic **simulated seconds** — the ratio gate is
+    machine-independent by construction.
+
+    The bench model's SA radii sum to ``halo_width``, so the plan's
+    halo covers exactly the model receptive field, and its config
+    drops ``exact_fast_threshold`` below the chunk size so chunk
+    batches record the same fast engines the monolithic run would
+    dispatch — keeping the projection like-for-like.
+
+    Returns a ``{"params", "kernels"}`` section dict; kernels are
+    keyed ``"scene/<N>"`` with ``chunked_s`` / ``monolithic_s`` /
+    ``speedup`` plus the plan's shape.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.core.pipeline import EdgePCConfig
+    from repro.datasets import make_scene
+    from repro.nn.pointnet2 import PointNet2Segmentation, SAConfig
+    from repro.partition import ScenePartitioner, price_partition
+    from repro.pipeline import EdgePCPipeline
+
+    sizes = tuple(int(n) for n in sizes)
+    if not sizes or any(n <= chunk_points for n in sizes):
+        raise ValueError(
+            "sizes must be scene point counts above chunk_points"
+        )
+    if chunk_points < 64:
+        raise ValueError("chunk_points must be at least 64")
+    if halo_width <= 0:
+        raise ValueError("halo_width must be positive")
+    sa_configs = (
+        SAConfig(
+            ratio=0.25, k=16, radius=halo_width / 3.0,
+            mlp=(16, 16, 32),
+        ),
+        SAConfig(
+            ratio=0.25, k=16, radius=2.0 * halo_width / 3.0,
+            mlp=(32, 32, 64),
+        ),
+    )
+    config = _replace(
+        EdgePCConfig.baseline(), exact_fast_threshold=1024
+    )
+    model = PointNet2Segmentation(
+        num_classes=13,
+        sa_configs=sa_configs,
+        edgepc=config,
+        rng=np.random.default_rng(seed),
+    )
+    pipeline = EdgePCPipeline(model)
+    partitioner = ScenePartitioner(
+        chunk_points=chunk_points, halo_width=halo_width
+    )
+    kernels: Dict[str, Dict[str, float]] = {}
+    for n_points in sizes:
+        scene = make_scene(n_points, seed=seed)
+        plan = partitioner.plan(scene.xyz)
+        report = price_partition(pipeline, scene.xyz, plan)
+        kernels[f"scene/{n_points}"] = {
+            "chunked_s": report.chunked_s,
+            "monolithic_s": report.monolithic_s,
+            "speedup": report.speedup,
+            "per_chunk_s": report.per_chunk_s,
+            "num_chunks": float(report.num_chunks),
+            "chunk_size": float(report.chunk_size),
+            "halo_ratio": report.halo_ratio,
+        }
+    return {
+        "params": {
+            "sizes": list(sizes),
+            "chunk_points": chunk_points,
+            "halo_width": halo_width,
+            "seed": seed,
+        },
+        "kernels": kernels,
+    }
+
+
+def format_partition_results(section: Dict[str, object]) -> str:
+    """Human-readable table of one partition suite section."""
+    params = section["params"]
+    lines = [
+        "scene partition suite "
+        f"(sizes={params['sizes']}, "
+        f"chunk_points={params['chunk_points']}, "
+        f"halo_width={params['halo_width']}; simulated seconds)",
+        f"{'scene':<16}{'chunked':>12}{'monolithic':>12}"
+        f"{'speedup':>10}{'halo':>8}",
+    ]
+    for name, entry in section["kernels"].items():
+        lines.append(
+            f"{name:<16}"
+            f"{entry['chunked_s']:>11.3f}s"
+            f"{entry['monolithic_s']:>11.3f}s"
+            f"{entry['speedup']:>9.1f}x"
+            f"{entry['halo_ratio']:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
 def format_large_n_results(section: Dict[str, object]) -> str:
     """Human-readable table of one large-N suite section."""
     params = section["params"]
@@ -369,6 +498,10 @@ def format_results(results: Dict[str, object]) -> str:
         if lines:
             lines.append("")
         lines.append(format_large_n_results(results["large_n"]))
+    if "partition" in results:
+        if lines:
+            lines.append("")
+        lines.append(format_partition_results(results["partition"]))
     return "\n".join(lines)
 
 
@@ -384,12 +517,13 @@ def compare_with_baseline(
     the suite.  Returns one message per regression; empty means the
     gate passes.
 
-    Each section (``kernels``, ``large_n``) is gated only when the
-    current run produced it, so a ``--suite large-n`` smoke run can be
-    checked against the full committed baseline.  Within ``large_n``,
-    baseline entries for sizes the current run did not request (its
-    ``params.sizes``) are skipped — the suite is size-parameterized and
-    CI gates a subset.
+    Each section (``kernels``, ``large_n``, ``partition``) is gated
+    only when the current run produced it, so a ``--suite large-n``
+    smoke run can be checked against the full committed baseline.
+    Within ``large_n`` and ``partition``, baseline entries for sizes
+    the current run did not request (its ``params.sizes``) are
+    skipped — those suites are size-parameterized and CI gates a
+    subset.
     """
     if not 0 <= tolerance < 1:
         raise ValueError("tolerance must be in [0, 1)")
@@ -414,12 +548,14 @@ def compare_with_baseline(
         current_kernels = current.get("kernels", {})
         for name, entry in baseline.get("kernels", {}).items():
             check(name, entry, current_kernels)
-    if "large_n" in current:
-        section = current["large_n"]
+    for key in ("large_n", "partition"):
+        if key not in current:
+            continue
+        section = current[key]
         sizes = {int(n) for n in section["params"]["sizes"]}
-        base = baseline.get("large_n", {})
+        base = baseline.get(key, {})
         for name, entry in base.get("kernels", {}).items():
             if int(name.rsplit("/", 1)[1]) not in sizes:
                 continue
-            check(name, entry, section.get("kernels", {}), "large_n/")
+            check(name, entry, section.get("kernels", {}), f"{key}/")
     return problems

@@ -528,6 +528,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         compare_with_baseline,
         format_results,
         run_large_n_suite,
+        run_partition_suite,
         run_suite,
     )
 
@@ -551,6 +552,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             seed=args.seed,
         )
+    if args.suite in ("partition", "all"):
+        kwargs = {"seed": args.seed}
+        if args.suite == "partition" and args.sizes != [
+            8192, 40960, 102400,
+        ]:
+            # --sizes applies to whichever size-parameterized suite
+            # runs alone; the shared default belongs to large-n.
+            kwargs["sizes"] = tuple(args.sizes)
+        results["partition"] = run_partition_suite(**kwargs)
     print(format_results(results))
     if args.out:
         with open(args.out, "w") as fh:
@@ -642,6 +652,249 @@ def _build_fleet(args, tracer, registry, clock=None):
         tracer=tracer,
         metrics=registry,
     )
+
+
+def _partition_pipeline(seed: int, halo_width: float, tracer, registry):
+    """Scene-tuned demo pipeline: a PointNet++ segmentation stack
+    whose receptive field (summed SA radii) equals ``halo_width``,
+    with the exact-engine threshold dropped below chunk size so chunk
+    batches dispatch the same fast engines a monolithic run would."""
+    from dataclasses import replace
+
+    from repro.nn import PointNet2Segmentation, SAConfig
+    from repro.pipeline import EdgePCPipeline
+
+    config = replace(
+        EdgePCConfig.baseline(), exact_fast_threshold=1024
+    )
+    model = PointNet2Segmentation(
+        num_classes=13,
+        sa_configs=(
+            SAConfig(
+                ratio=0.25, k=16, radius=halo_width / 3.0,
+                mlp=(16, 16, 32),
+            ),
+            SAConfig(
+                ratio=0.25, k=16, radius=2.0 * halo_width / 3.0,
+                mlp=(32, 32, 64),
+            ),
+        ),
+        edgepc=config,
+        rng=np.random.default_rng(seed),
+    )
+    return EdgePCPipeline(model, tracer=tracer, metrics=registry)
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    """Scene-scale scatter/gather demo on a tiled-room scene.
+
+    Partitions one ``--points``-sized scene into Morton chunks with a
+    receptive-field halo and runs it end-to-end — directly through
+    :class:`~repro.partition.PartitionedPipeline`, or (``--serve``)
+    scattered over a virtual-time :class:`~repro.serving.ServerFleet`
+    as one scene request.  Every run re-verifies the stitch identity
+    on a single-chunk control scene, checks the exported trace for
+    orphan spans, and writes a deterministic JSON report (FixedClock
+    timeline + seeded scene, so same-seed reports are byte-identical).
+    """
+    from repro.observability.clock import FixedClock
+    from repro.observability.tracing import find_orphans
+    from repro.partition import (
+        PartitionedPipeline,
+        ScenePartitioner,
+        price_partition,
+    )
+
+    clock = FixedClock(0.0)
+    tracer = Tracer(clock=clock)
+    registry = MetricsRegistry()
+    scene = _load_scene(args)
+    partitioner = ScenePartitioner(
+        chunk_points=args.chunk_points, halo_width=args.halo_width
+    )
+    pipeline = _partition_pipeline(
+        args.seed, args.halo_width, tracer, registry
+    )
+    partitioned = PartitionedPipeline(
+        pipeline,
+        partitioner=partitioner,
+        max_chunks_per_batch=args.max_chunks_per_batch,
+    )
+
+    # Stitch-identity control: a single-chunk scene must be
+    # byte-identical to the direct pipeline.
+    control = scene.xyz[: min(args.chunk_points, scene.xyz.shape[0])]
+    control_direct = pipeline.infer(control)
+    control_part = partitioned.infer(control)
+    control_ok = bool(
+        np.array_equal(control_part.logits, control_direct.logits[0])
+    )
+    print(
+        f"control identity ({control.shape[0]} points): "
+        f"{'ok' if control_ok else 'MISMATCH'}"
+    )
+
+    plan = partitioner.plan(scene.xyz)
+    pricing = price_partition(pipeline, scene.xyz, plan)
+    print(
+        f"plan: {plan.num_chunks} chunks x {plan.chunk_size} points "
+        f"(halo ratio {plan.halo_ratio:.2f})"
+    )
+
+    report: dict = {
+        "params": {
+            "points": int(scene.xyz.shape[0]),
+            "chunk_points": args.chunk_points,
+            "halo_width": args.halo_width,
+            "seed": args.seed,
+            "serve": bool(args.serve),
+            "replicas": args.replicas if args.serve else 0,
+        },
+        "plan": {
+            "num_chunks": plan.num_chunks,
+            "chunk_size": plan.chunk_size,
+            "halo_ratio": plan.halo_ratio,
+            "halo_points_total": plan.halo_points_total,
+        },
+        "pricing": {
+            "chunked_s": pricing.chunked_s,
+            "monolithic_s": pricing.monolithic_s,
+            "speedup": pricing.speedup,
+            "per_chunk_s": pricing.per_chunk_s,
+        },
+        "control": {
+            "points": int(control.shape[0]),
+            "identical": control_ok,
+        },
+    }
+
+    if args.serve:
+        from repro.serving import ServerFleet, ServingConfig
+
+        fleet = ServerFleet(
+            [
+                _partition_pipeline(
+                    args.seed, args.halo_width, tracer, registry
+                )
+                for _ in range(args.replicas)
+            ],
+            serving_config=ServingConfig(
+                max_batch_size=args.max_chunks_per_batch,
+                max_wait_ms=5.0,
+                max_queue_depth=max(64, 2 * plan.num_chunks),
+            ),
+            clock=clock,
+            tracer=tracer,
+            metrics=registry,
+        )
+        sreq = fleet.submit_scene(
+            scene.xyz, partitioner, tenant="scene"
+        )
+        budget = 200 + 50 * plan.num_chunks
+        for _ in range(budget):
+            if sreq.future.done():
+                break
+            for index in range(len(fleet.replicas)):
+                fleet.pump_replica(index)
+            fleet.service()
+            clock.advance(0.01)
+            for replica in fleet.replicas:
+                replica.server.batcher.ingest()
+        fleet.service()
+        if not sreq.future.done():
+            print(
+                "scene request did not settle within the pump "
+                "budget",
+                file=sys.stderr,
+            )
+            return 1
+        served = sreq.future.result()
+        predictions = served.prediction
+        report["result"] = {
+            "simulated_s": served.simulated_batch_s,
+            "trigger": served.trigger,
+            "degraded": list(served.degraded_stages),
+            "trace_id": served.trace_id,
+        }
+        report["fleet"] = {
+            key: value
+            for key, value in sorted(fleet.stats().items())
+        }
+        print(
+            f"served scene {served.request_id}: "
+            f"{plan.num_chunks} chunks, "
+            f"{served.simulated_batch_s:.3f} simulated s"
+        )
+    else:
+        result = partitioned.infer(scene.xyz)
+        predictions = result.predictions
+        report["result"] = {
+            "simulated_s": result.simulated_s,
+            "energy_j": result.energy_j,
+            "degraded": list(result.degraded_stages),
+        }
+        print(
+            f"partitioned inference: {result.num_points} points, "
+            f"{result.simulated_s:.3f} simulated s"
+        )
+
+    report["predictions"] = {
+        "histogram": np.bincount(
+            predictions, minlength=13
+        ).tolist(),
+    }
+
+    rows = [span.to_dict() for span in tracer.finished()]
+    orphans = find_orphans(rows)
+    roots = [
+        row
+        for row in rows
+        if row.get("name") == "request" and row.get("parent") is None
+    ]
+    report["trace"] = {
+        "spans": len(rows),
+        "orphan_spans": len(orphans),
+        "request_roots": len(roots),
+    }
+    print(
+        f"trace: {len(rows)} spans, {len(orphans)} orphans, "
+        f"{len(roots)} request root(s)"
+    )
+
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote partition report -> {args.report}")
+    if getattr(args, "artifacts_dir", None):
+        os.makedirs(args.artifacts_dir, exist_ok=True)
+        from repro.observability.dashboard import (
+            ARTIFACT_METRICS,
+            ARTIFACT_TRACE,
+        )
+
+        registry.export_json(
+            os.path.join(args.artifacts_dir, ARTIFACT_METRICS)
+        )
+        tracer.export_jsonl(
+            os.path.join(args.artifacts_dir, ARTIFACT_TRACE)
+        )
+        print(f"wrote dashboard artifacts -> {args.artifacts_dir}")
+    _export_telemetry(args, tracer, registry)
+    if not control_ok:
+        print("control identity check failed", file=sys.stderr)
+        return 1
+    if orphans:
+        print("trace contains orphan spans", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _load_scene(args):
+    """The seeded tiled-room scene for ``repro partition``."""
+    from repro.datasets import make_scene
+
+    return make_scene(args.points, seed=args.seed)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -1214,6 +1467,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(sample)
     sample.set_defaults(func=cmd_sample)
 
+    partition_cmd = sub.add_parser(
+        "partition",
+        help="scene-scale scatter/gather demo: Morton-chunk one "
+        "tiled-room scene, run it through the partitioned pipeline "
+        "or a virtual fleet, verify the stitch, report",
+    )
+    partition_cmd.add_argument(
+        "--points", type=int, default=100_000,
+        help="scene size in points (default 100000; the scene-scale "
+        "scenario spans 100k-1M)",
+    )
+    partition_cmd.add_argument(
+        "--chunk-points", type=int, default=8192,
+        help="target core points per chunk (default 8192)",
+    )
+    partition_cmd.add_argument(
+        "--halo-width", type=float, default=0.12,
+        help="halo band width; also sizes the demo model's receptive "
+        "field (default 0.12)",
+    )
+    partition_cmd.add_argument(
+        "--max-chunks-per-batch", type=int, default=2,
+        help="chunks stacked per inner batch dispatch (default 2)",
+    )
+    partition_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="seeds the scene and the model weights (default 0)",
+    )
+    partition_cmd.add_argument(
+        "--serve", action="store_true",
+        help="scatter the scene over a virtual-time ServerFleet "
+        "instead of the in-process partitioned pipeline",
+    )
+    partition_cmd.add_argument(
+        "--replicas", type=int, default=2,
+        help="fleet size for --serve (default 2)",
+    )
+    partition_cmd.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the deterministic JSON run report to FILE",
+    )
+    partition_cmd.add_argument(
+        "--artifacts-dir", default=None, metavar="DIR",
+        help="write the dashboard artifact bundle (metrics.json, "
+        "trace.jsonl) to DIR",
+    )
+    _add_telemetry_flags(partition_cmd)
+    partition_cmd.set_defaults(func=cmd_partition)
+
     sweep = sub.add_parser(
         "sweep", help="window-size sensitivity (Fig. 15a view)"
     )
@@ -1277,10 +1579,12 @@ def build_parser() -> argparse.ArgumentParser:
         "gate against a committed baseline",
     )
     bench_cmd.add_argument(
-        "--suite", choices=("kernels", "large-n", "all"),
+        "--suite",
+        choices=("kernels", "large-n", "partition", "all"),
         default="kernels",
         help="which suite to run: the batched-vs-looped kernel pairs, "
-        "the large-N exact fast engines, or both (default kernels)",
+        "the large-N exact fast engines, the scene partition "
+        "chunked-vs-monolithic pricing, or all (default kernels)",
     )
     bench_cmd.add_argument(
         "--sizes", type=int, nargs="+", metavar="N",

@@ -16,12 +16,18 @@ from repro.datasets.indoor import (
     NUM_SEMANTIC_CLASSES,
     S3DISLike,
     ScanNetLike,
+    room_grid_offsets,
 )
 from repro.datasets.modelnet import ModelNetLike
 from repro.datasets.outdoor import (
     NUM_OUTDOOR_CLASSES,
     KITTILike,
     lidar_sweep,
+)
+from repro.datasets.scene import (
+    DEFAULT_ROOM_SPACING,
+    SceneSegmentation,
+    make_scene,
 )
 from repro.datasets.shapenet import (
     NUM_CATEGORIES,
@@ -41,6 +47,10 @@ __all__ = [
     "ShapeNetPartLike",
     "S3DISLike",
     "ScanNetLike",
+    "SceneSegmentation",
+    "make_scene",
+    "room_grid_offsets",
+    "DEFAULT_ROOM_SPACING",
     "KITTILike",
     "lidar_sweep",
     "NUM_OUTDOOR_CLASSES",

@@ -29,6 +29,32 @@ CLASS_CLUTTER = 5
 NUM_SEMANTIC_CLASSES = 6
 
 
+def room_grid_offsets(
+    num_rooms: int, spacing: float = 2.5
+) -> np.ndarray:
+    """Offsets laying normalized rooms out on a near-square XY grid.
+
+    Each room block is normalized to roughly ``[-1, 1]^3``, so a
+    spacing a little above 2 abuts rooms without overlap — the layout
+    the scene-scale segmentation scenario tiles into 100k–1M-point
+    floors.
+
+    Returns:
+        float64 offsets of shape ``(num_rooms, 3)``; ``z`` is always
+        0 so the tiled rooms share one floor plane.
+    """
+    if num_rooms < 1:
+        raise ValueError("num_rooms must be positive")
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    cols = int(np.ceil(np.sqrt(num_rooms)))
+    index = np.arange(num_rooms)
+    offsets = np.zeros((num_rooms, 3), dtype=np.float64)
+    offsets[:, 0] = (index % cols) * spacing
+    offsets[:, 1] = (index // cols) * spacing
+    return offsets
+
+
 def _room_surfaces(
     n: int, rng: np.random.Generator
 ) -> List[tuple]:
@@ -87,6 +113,8 @@ def _room_surfaces(
     surfaces.append((walls, CLASS_WALL))
 
     def _place(points: np.ndarray) -> np.ndarray:
+        """Shift an object's ``(P, 3)`` float64 points to a random
+        in-room XY position (shape and dtype preserved)."""
         points = points.copy()
         points[:, 0] += rng.uniform(-width / 2 + 1, width / 2 - 1)
         points[:, 1] += rng.uniform(-depth / 2 + 1, depth / 2 - 1)

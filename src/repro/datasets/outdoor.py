@@ -30,7 +30,15 @@ NUM_OUTDOOR_CLASSES = 4
 
 def _ray_plane_z0(origins: np.ndarray, dirs: np.ndarray) -> np.ndarray:
     """Distance along each ray to the z = 0 plane (inf if parallel or
-    behind)."""
+    behind).
+
+    Args:
+        origins: ``(R, 3)`` float64 ray origins.
+        dirs: ``(R, 3)`` float64 unit directions.
+
+    Returns:
+        ``(R,)`` float64 hit distances, ``inf`` on miss.
+    """
     dz = dirs[:, 2]
     with np.errstate(divide="ignore", invalid="ignore"):
         t = -origins[:, 2] / dz
@@ -44,7 +52,17 @@ def _ray_aabb(
     box_min: np.ndarray,
     box_max: np.ndarray,
 ) -> np.ndarray:
-    """Slab-test distance along each ray to an AABB (inf on miss)."""
+    """Slab-test distance along each ray to an AABB (inf on miss).
+
+    Args:
+        origins: ``(R, 3)`` float64 ray origins.
+        dirs: ``(R, 3)`` float64 unit directions.
+        box_min: ``(3,)`` float64 box lower corner.
+        box_max: ``(3,)`` float64 box upper corner.
+
+    Returns:
+        ``(R,)`` float64 entry distances, ``inf`` on miss.
+    """
     with np.errstate(divide="ignore", invalid="ignore"):
         inv = 1.0 / dirs
     t1 = (box_min[None, :] - origins) * inv
@@ -56,10 +74,15 @@ def _ray_aabb(
     return np.where(hit, entry, np.inf)
 
 
-def _sweep_directions(
+def sweep_directions(
     num_beams: int, num_azimuths: int
 ) -> np.ndarray:
-    """Unit ray directions of one spin: beams x azimuths, flattened."""
+    """Unit ray directions of one spin: beams x azimuths, flattened.
+
+    Returns:
+        float64 unit vectors of shape ``(num_beams * num_azimuths,
+        3)``, beam-major (all azimuths of beam 0 first).
+    """
     elevations = np.deg2rad(np.linspace(-24.0, 2.0, num_beams))
     azimuths = np.linspace(0, 2 * np.pi, num_azimuths, endpoint=False)
     el, az = np.meshgrid(elevations, azimuths, indexing="ij")
@@ -123,7 +146,7 @@ def lidar_sweep(
         raise ValueError("need at least 1 beam and 4 azimuth steps")
     if max_range <= 0:
         raise ValueError("max_range must be positive")
-    dirs = _sweep_directions(num_beams, num_azimuths)
+    dirs = sweep_directions(num_beams, num_azimuths)
     origins = np.tile(
         np.array([0.0, 0.0, sensor_height]), (dirs.shape[0], 1)
     )

@@ -251,12 +251,14 @@ class MetricNamingRule(Rule):
         "counters end in _total; histograms end in a unit suffix "
         "(_seconds, _joules, _bytes, _points, _clouds, _ratio); "
         "metrics emitted by the serving layer carry the serving_ "
-        "prefix.  Consistent names keep the Prometheus exposition "
-        "scrapeable and dashboards portable."
+        "prefix and metrics emitted by the scene partitioner carry "
+        "the partition_ prefix.  Consistent names keep the "
+        "Prometheus exposition scrapeable and dashboards portable."
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         serving = ctx.module.startswith("repro.serving")
+        partition = ctx.module.startswith("repro.partition")
         for node in ast.walk(ctx.tree):
             if not (
                 isinstance(node, ast.Call)
@@ -273,12 +275,17 @@ class MetricNamingRule(Rule):
                 continue
             name = first.value
             kind = node.func.attr
-            for problem in self._name_problems(name, kind, serving):
+            for problem in self._name_problems(
+                name, kind, serving, partition
+            ):
                 yield ctx.finding(self, node, problem)
 
     @staticmethod
     def _name_problems(
-        name: str, kind: str, serving: bool = False
+        name: str,
+        kind: str,
+        serving: bool = False,
+        partition: bool = False,
     ) -> List[str]:
         problems: List[str] = []
         if not _SNAKE_CASE.match(name):
@@ -300,5 +307,10 @@ class MetricNamingRule(Rule):
             problems.append(
                 f"metric {name!r} emitted from the serving layer "
                 "must carry the 'serving_' prefix"
+            )
+        if partition and not name.startswith("partition_"):
+            problems.append(
+                f"metric {name!r} emitted from the partition layer "
+                "must carry the 'partition_' prefix"
             )
         return problems

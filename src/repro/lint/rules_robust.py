@@ -41,12 +41,16 @@ _BROAD_NAMES = ("Exception", "BaseException")
 #: their shape/dtype contract.  The exact sampler / neighbor-engine
 #: packages joined when the large-N fast engines landed: their
 #: bit-identity guarantees only mean something if every kernel's
-#: output shape and dtype are pinned in the docstring.
+#: output shape and dtype are pinned in the docstring.  The dataset
+#: generators joined with scene-scale partitioning: a 1M-point scene
+#: assembled from procedural rooms feeds the partitioner directly, so
+#: its data path is contract-checked like core/geometry.
 CONTRACT_PACKAGES = (
     "repro.core",
     "repro.geometry",
     "repro.sampling",
     "repro.neighbors",
+    "repro.datasets",
 )
 
 _SHAPE_HINT = re.compile(

@@ -1,0 +1,222 @@
+"""Chunked scene inference: scatter, batch, stitch.
+
+:class:`PartitionedPipeline` drives a :class:`ScenePartitioner` plan
+through an existing :class:`~repro.pipeline.EdgePCPipeline` (or a
+:class:`~repro.robustness.guard.GuardedPipeline` wrapping one): chunks
+of one uniform size stack into rectangular ``(B, S, 3)`` batches, ride
+the ordinary batch path, and the per-point outputs are stitched back
+into scene order.  Stitch semantics are **owner-chunk priority**:
+every scene point takes the logits its owning chunk computed for it;
+halo and padding rows are context only and are discarded.  This makes
+multi-chunk output deterministic regardless of chunk count, and — for
+halo widths at or above the model's receptive field — identical to
+the monolithic run on interior points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+import numpy as np
+
+from repro.observability.context import TraceContext
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import NULL_TRACER, Tracer
+from repro.partition.partitioner import PartitionPlan, ScenePartitioner
+
+
+class PartitionRejectedError(RuntimeError):
+    """A chunk batch was rejected at the guarded validation boundary.
+
+    Carries the scene indices of the rejected chunks' core points so
+    callers can attribute the failure to a region of the scene.
+    """
+
+    def __init__(self, reason: str, chunk_indices: Tuple[int, ...]):
+        super().__init__(
+            f"chunk batch {chunk_indices} rejected: {reason}"
+        )
+        self.reason = reason
+        self.chunk_indices = chunk_indices
+
+
+@dataclass(frozen=True)
+class PartitionedResult:
+    """A stitched scene prediction plus the plan that produced it.
+
+    ``simulated_s`` / ``energy_j`` sum the per-batch device profiles,
+    i.e. total chunked work including halo overhead — not critical
+    path (chunks are independent and may run concurrently).
+    """
+
+    logits: np.ndarray
+    predictions: np.ndarray
+    plan: PartitionPlan
+    simulated_s: float
+    energy_j: float
+    degraded_stages: Tuple[str, ...] = ()
+
+    @property
+    def num_points(self) -> int:
+        return int(self.predictions.shape[0])
+
+
+class PartitionedPipeline:
+    """Executes partition plans through the batch inference path.
+
+    Args:
+        pipeline: an :class:`~repro.pipeline.EdgePCPipeline` or a
+            :class:`~repro.robustness.guard.GuardedPipeline`; chunk
+            batches go through its ``infer``.
+        partitioner: the scatter policy; defaults to one sized from
+            the model's receptive field when the model exposes
+            ``sa_configs``, else a halo-less default.
+        max_chunks_per_batch: ceiling on ``B`` per inner batch —
+            bounds peak memory of the grouped ``(B, S, k, C)``
+            tensors.
+        tracer / metrics: observability sinks; default to the wrapped
+            pipeline's own, so partition spans and the pipeline's
+            per-stage spans land in one trace.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        partitioner: Optional[ScenePartitioner] = None,
+        max_chunks_per_batch: int = 4,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_chunks_per_batch < 1:
+            raise ValueError("max_chunks_per_batch must be positive")
+        inner = getattr(pipeline, "pipeline", pipeline)
+        if partitioner is None:
+            model = inner.model
+            if getattr(model, "sa_configs", None) is not None:
+                partitioner = ScenePartitioner.for_model(model)
+            else:
+                partitioner = ScenePartitioner()
+        self.pipeline = pipeline
+        self.partitioner = partitioner
+        self.max_chunks_per_batch = int(max_chunks_per_batch)
+        self.tracer = tracer if tracer is not None else (
+            inner.tracer if inner.tracer is not None else NULL_TRACER
+        )
+        self.metrics = (
+            metrics if metrics is not None else inner.metrics
+        )
+
+    def infer(
+        self,
+        xyz: np.ndarray,
+        ctx: Optional[TraceContext] = None,
+    ) -> PartitionedResult:
+        """Partition, batch, and stitch one ``(N, 3)`` scene.
+
+        Pass ``ctx`` to parent the ``partition.infer`` span (and all
+        chunk-batch spans beneath it) under an existing request trace.
+        """
+        with self.tracer.span(
+            "partition.infer", "partition", context=ctx
+        ) as span:
+            points = np.asarray(xyz, dtype=np.float64)
+            if points.ndim != 2 or points.shape[1] != 3:
+                raise ValueError(
+                    f"expected an (N, 3) scene, got {points.shape}"
+                )
+            with self.tracer.span("partition.plan", "partition"):
+                plan = self.partitioner.plan(points)
+            logits, simulated_s, energy_j, degraded = (
+                self._run_chunks(points, plan)
+            )
+            span.set("points", plan.num_points)
+            span.set("chunks", plan.num_chunks)
+            span.set("chunk_size", plan.chunk_size)
+            span.add_cost(simulated_s)
+            self._record_metrics(plan, simulated_s)
+            return PartitionedResult(
+                logits=logits,
+                predictions=logits.argmax(axis=-1),
+                plan=plan,
+                simulated_s=simulated_s,
+                energy_j=energy_j,
+                degraded_stages=tuple(sorted(degraded)),
+            )
+
+    # Internals -------------------------------------------------------
+
+    def _run_chunks(
+        self, points: np.ndarray, plan: PartitionPlan
+    ) -> Tuple[np.ndarray, float, float, Set[str]]:
+        """Execute the plan's chunks in rectangular batches and
+        scatter their core rows back into scene order."""
+        scene_logits: Optional[np.ndarray] = None
+        simulated_s = 0.0
+        energy_j = 0.0
+        degraded: Set[str] = set()
+        step = self.max_chunks_per_batch
+        for offset in range(0, plan.num_chunks, step):
+            group = plan.chunks[offset : offset + step]
+            batch = np.stack(
+                [points[chunk.indices] for chunk in group]
+            )
+            with self.tracer.span(
+                "partition.batch", "partition"
+            ) as span:
+                span.set("chunks", len(group))
+                span.set("chunk_size", plan.chunk_size)
+                result = self.pipeline.infer(batch)
+            inner = self._unwrap(result, group)
+            if inner.breakdown is not None:
+                simulated_s += inner.breakdown.total_s
+                energy_j += inner.energy.total_j
+            degraded.update(getattr(result, "degraded_stages", ()))
+            if scene_logits is None:
+                scene_logits = np.empty(
+                    (plan.num_points, inner.logits.shape[-1]),
+                    dtype=inner.logits.dtype,
+                )
+            for row, chunk in enumerate(group):
+                scene_logits[chunk.core_indices] = inner.logits[
+                    row, : chunk.num_core
+                ]
+        assert scene_logits is not None  # plans have >= 1 chunk
+        return scene_logits, simulated_s, energy_j, degraded
+
+    @staticmethod
+    def _unwrap(result, group):
+        """The inner :class:`InferenceResult` of a (possibly guarded)
+        batch, raising :class:`PartitionRejectedError` on rejection."""
+        if getattr(result, "rejected", False):
+            raise PartitionRejectedError(
+                result.rejection_reason or "rejected",
+                tuple(chunk.index for chunk in group),
+            )
+        return getattr(result, "result", result)
+
+    def _record_metrics(
+        self, plan: PartitionPlan, simulated_s: float
+    ) -> None:
+        registry = self.metrics
+        if registry is None:
+            return
+        registry.counter("partition_scenes_total").inc()
+        registry.counter("partition_chunks_total").inc(
+            plan.num_chunks
+        )
+        registry.counter("partition_points_total").inc(
+            plan.num_points
+        )
+        registry.counter(
+            "partition_simulated_seconds_total"
+        ).inc(simulated_s)
+        registry.histogram("partition_halo_points_ratio").observe(
+            plan.halo_ratio
+        )
+        registry.histogram("partition_chunk_size_points").observe(
+            float(plan.chunk_size)
+        )
+        registry.gauge("partition_last_scene_chunks").set(
+            float(plan.num_chunks)
+        )

@@ -318,6 +318,9 @@ class EdgePCPipeline:
         registry.gauge("workspace_bytes_allocated").set(
             float(workspace.bytes_allocated)
         )
+        registry.gauge("workspace_budget_bytes").set(
+            float(workspace.scratch_bytes)
+        )
         registry.gauge("workspace_buffers").set(
             float(workspace.num_buffers)
         )

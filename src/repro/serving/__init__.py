@@ -37,6 +37,7 @@ from repro.serving.fleet import (
     NoHealthyReplicaError,
     Replica,
     Router,
+    SceneRequest,
     ServerFleet,
 )
 from repro.serving.health import (
@@ -110,6 +111,7 @@ __all__ = [
     "RetryExhaustedError",
     "RetryPolicy",
     "Router",
+    "SceneRequest",
     "ServedResult",
     "ServerFleet",
     "ServingConfig",

@@ -299,10 +299,18 @@ class InferenceServer:
     # Dispatch (shared by workers and the virtual pump) ---------------
 
     def _workspace(self) -> Workspace:
-        """This thread's owned scratch workspace, created on first use."""
+        """This thread's owned scratch workspace, created on first use.
+
+        Sized from the pipeline config's ``workspace_scratch_bytes``
+        so serving threads honor the same scratch budget as the
+        model's own pool (a GuardedPipeline is unwrapped first).
+        """
         workspace = getattr(self._local, "workspace", None)
         if workspace is None:
-            workspace = Workspace()
+            config = getattr(self.pipeline, "config", None)
+            if config is None:  # GuardedPipeline wraps the pipeline
+                config = self.pipeline.pipeline.config
+            workspace = Workspace(config.workspace_scratch_bytes)
             workspace.claim_owner()
             self._local.workspace = workspace
         return workspace

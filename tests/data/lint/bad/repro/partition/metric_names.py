@@ -1,0 +1,8 @@
+"""Known-bad partition metric-name fixture: OBS-302 must fire three
+times (missing partition_ prefix twice, missing histogram unit once)."""
+
+
+def record(registry, chunks, ratio):
+    registry.counter("scene_chunks_total").inc(chunks)
+    registry.gauge("chunk_size").set(chunks)
+    registry.histogram("partition_halo").observe(ratio)

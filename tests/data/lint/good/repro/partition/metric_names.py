@@ -1,0 +1,8 @@
+"""Known-good partition metric-name fixture: partition_ prefix
+everywhere, histograms with unit suffixes."""
+
+
+def record(registry, chunks, ratio):
+    registry.counter("partition_chunks_total").inc(chunks)
+    registry.gauge("partition_chunk_size").set(chunks)
+    registry.histogram("partition_halo_points_ratio").observe(ratio)

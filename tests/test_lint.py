@@ -57,6 +57,12 @@ SERVING_FIXTURES = {
     "OBS-303": ("repro/serving/trace_context.py", 3),
 }
 
+# Partition-layer extension of OBS-302 (PR 10): metrics emitted from
+# repro.partition must carry the partition_ prefix.
+PARTITION_FIXTURES = {
+    "OBS-302": ("repro/partition/metric_names.py", 3),
+}
+
 
 class TestRuleRegistry:
     def test_every_fixture_rule_is_registered(self):
@@ -137,6 +143,29 @@ class TestServingFixtures:
 
     def test_serving_prefix_only_required_inside_serving(self):
         source = (BAD / "repro/serving/metric_names.py").read_text()
+        findings = lint_source("repro/sim/names_ok.py", source)
+        # The unit-suffix finding stays; the prefix findings vanish.
+        assert [f.rule for f in findings] == ["OBS-302"]
+        assert "unit suffix" in findings[0].message
+
+
+class TestPartitionFixtures:
+    """PR-10 partition extension of the metric-name rule."""
+
+    @pytest.mark.parametrize("rule_id", sorted(PARTITION_FIXTURES))
+    def test_fires_on_bad_fixture(self, rule_id):
+        relpath, expected = PARTITION_FIXTURES[rule_id]
+        findings = lint_file(str(BAD / relpath))
+        hits = [f for f in findings if f.rule == rule_id]
+        assert len(hits) == expected
+
+    @pytest.mark.parametrize("rule_id", sorted(PARTITION_FIXTURES))
+    def test_silent_on_good_fixture(self, rule_id):
+        relpath, _ = PARTITION_FIXTURES[rule_id]
+        assert lint_file(str(GOOD / relpath)) == []
+
+    def test_partition_prefix_only_required_inside_partition(self):
+        source = (BAD / "repro/partition/metric_names.py").read_text()
         findings = lint_source("repro/sim/names_ok.py", source)
         # The unit-suffix finding stays; the prefix findings vanish.
         assert [f.rule for f in findings] == ["OBS-302"]

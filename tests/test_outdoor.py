@@ -12,7 +12,7 @@ from repro.datasets.outdoor import (
     NUM_OUTDOOR_CLASSES,
     _ray_aabb,
     _ray_plane_z0,
-    _sweep_directions,
+    sweep_directions,
 )
 
 
@@ -60,7 +60,7 @@ class TestRayPrimitives:
         assert t[0] == pytest.approx(1.0)  # exits the far face
 
     def test_sweep_directions_unit(self):
-        dirs = _sweep_directions(4, 16)
+        dirs = sweep_directions(4, 16)
         assert dirs.shape == (64, 3)
         assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
 

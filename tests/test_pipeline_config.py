@@ -91,6 +91,82 @@ class TestEdgePCConfig:
         assert cfg.sample_layers == frozenset({0, 1})
 
 
+class TestExactEngineBoundary:
+    """The partition dispatch leans on this seam: the fast exact
+    engines take over exactly at ``exact_fast_threshold``."""
+
+    @pytest.mark.parametrize("threshold", [1, 2, 100, 8192])
+    def test_threshold_boundary(self, threshold):
+        cfg = EdgePCConfig(exact_fast_threshold=threshold)
+        if threshold > 1:
+            assert cfg.exact_engine_for(threshold - 1) == "brute"
+        assert cfg.exact_engine_for(threshold) == "fast"
+        assert cfg.exact_engine_for(threshold + 1) == "fast"
+
+    def test_default_threshold_boundary(self):
+        cfg = EdgePCConfig()
+        assert cfg.exact_engine_for(8191) == "brute"
+        assert cfg.exact_engine_for(8192) == "fast"
+        assert cfg.exact_engine_for(8193) == "fast"
+
+    def test_zero_points_is_brute(self):
+        assert EdgePCConfig().exact_engine_for(0) == "brute"
+
+    def test_rejects_negative_point_count(self):
+        with pytest.raises(ValueError):
+            EdgePCConfig().exact_engine_for(-1)
+
+
+class TestPostInitValidation:
+    """Every __post_init__ rejection, one constructor arg at a time."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window_multiplier": 0},
+            {"window_multiplier": -3},
+            {"reuse_distance": -1},
+            {"fc_merge_factor": 0},
+            {"exact_fast_threshold": 0},
+            {"exact_fast_threshold": -8192},
+            {"workspace_scratch_bytes": 0},
+            {"workspace_scratch_bytes": -1},
+            {"code_bits": 1},
+            {"sample_layers": {-1}},
+            {"upsample_layers": {-2}},
+            {"neighbor_layers": {0, -1}},
+        ],
+        ids=lambda kw: next(iter(kw.items()))[0]
+        + "="
+        + str(next(iter(kw.items()))[1]),
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            EdgePCConfig(**kwargs)
+
+    def test_boundary_values_accepted(self):
+        cfg = EdgePCConfig(
+            window_multiplier=1,
+            reuse_distance=0,
+            fc_merge_factor=1,
+            exact_fast_threshold=1,
+            workspace_scratch_bytes=1,
+        )
+        assert cfg.exact_engine_for(1) == "fast"
+
+    def test_workspace_budget_default(self):
+        from repro.core.workspace import DEFAULT_SCRATCH_BYTES
+
+        assert (
+            EdgePCConfig().workspace_scratch_bytes
+            == DEFAULT_SCRATCH_BYTES
+        )
+
+    def test_with_workspace_scratch_bytes(self):
+        cfg = EdgePCConfig().with_workspace_scratch_bytes(64 << 20)
+        assert cfg.workspace_scratch_bytes == 64 << 20
+
+
 class TestDSE:
     def test_window_sweep_monotone_fnr(self, medium_cloud):
         points = explore_window_sizes(
